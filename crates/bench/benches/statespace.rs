@@ -1,0 +1,133 @@
+//! Criterion benchmarks for SAN state-space generation: the three GSU
+//! reward models and a scalable synthetic SAN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use performability::gsu::{rmgd, rmgp, rmnd};
+use performability::GsuParams;
+use san::{Activity, SanModel, StateSpace};
+
+fn bench_gsu_models(c: &mut Criterion) {
+    let params = GsuParams::paper_baseline();
+    let mut group = c.benchmark_group("gsu_model_generation");
+    group.bench_function("rmgd", |b| {
+        b.iter(|| {
+            let m = rmgd::build(&params).unwrap();
+            StateSpace::generate(&m.model, &Default::default()).unwrap()
+        })
+    });
+    group.bench_function("rmgp", |b| {
+        b.iter(|| {
+            let m = rmgp::build(&params).unwrap();
+            StateSpace::generate(&m.model, &Default::default()).unwrap()
+        })
+    });
+    group.bench_function("rmnd", |b| {
+        b.iter(|| {
+            let m = rmnd::build(&params, params.mu_new).unwrap();
+            StateSpace::generate(&m.model, &Default::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Tandem queueing network with `stations` stations of capacity `cap`:
+/// state count (cap+1)^stations — a knob for reachability scaling.
+fn tandem(stations: usize, cap: u32) -> SanModel {
+    let mut m = SanModel::new("tandem");
+    let queues: Vec<_> = (0..stations)
+        .map(|i| m.add_place(format!("q{i}"), 0))
+        .collect();
+    let first = queues[0];
+    m.add_activity(
+        Activity::timed("arrive", 1.0)
+            .with_enabling(move |mk| mk.tokens(first) < cap)
+            .with_output_arc(first, 1),
+    )
+    .unwrap();
+    for i in 0..stations {
+        let from = queues[i];
+        let act = Activity::timed(format!("serve{i}"), 2.0).with_input_arc(from, 1);
+        let act = if i + 1 < stations {
+            let to = queues[i + 1];
+            act.with_output_arc(to, 1)
+                .with_enabling(move |mk| mk.tokens(to) < cap)
+        } else {
+            act
+        };
+        m.add_activity(act).unwrap();
+    }
+    m
+}
+
+fn bench_tandem_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tandem_reachability");
+    group.sample_size(20);
+    for &(stations, cap) in &[(3usize, 4u32), (4, 4), (5, 4)] {
+        let states = (cap as usize + 1).pow(stations as u32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{stations}x{cap}_{states}states")),
+            &(stations, cap),
+            |b, &(s, k)| {
+                let m = tandem(s, k);
+                b.iter(|| StateSpace::generate(&m, &Default::default()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Composed machine-repairman models: reachability scaling of the
+/// Rep/Join operator output.
+fn bench_composed_repairman(c: &mut Criterion) {
+    use san::compose::Composer;
+
+    fn build(n: usize) -> SanModel {
+        let mut composer = Composer::new("repairman");
+        composer.shared_place("crew", 1);
+        composer
+            .replicate("m", n, |scope, _| {
+                let up = scope.add_place("up", 1);
+                let down = scope.add_place("down", 0);
+                let in_repair = scope.add_place("in_repair", 0);
+                let crew = scope.shared("crew")?;
+                scope.add_activity(
+                    Activity::timed("fail", 0.1)
+                        .with_input_arc(up, 1)
+                        .with_output_arc(down, 1),
+                )?;
+                scope.add_activity(
+                    Activity::instantaneous("grab")
+                        .with_input_arc(down, 1)
+                        .with_input_arc(crew, 1)
+                        .with_output_arc(in_repair, 1),
+                )?;
+                scope.add_activity(
+                    Activity::timed("repair", 1.0)
+                        .with_input_arc(in_repair, 1)
+                        .with_output_arc(up, 1)
+                        .with_output_arc(crew, 1),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        composer.finish()
+    }
+
+    let mut group = c.benchmark_group("composed_repairman");
+    group.sample_size(20);
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let m = build(n);
+            b.iter(|| StateSpace::generate(&m, &Default::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gsu_models,
+    bench_tandem_scaling,
+    bench_composed_repairman
+);
+criterion_main!(benches);

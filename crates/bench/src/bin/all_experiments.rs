@@ -1,0 +1,49 @@
+//! Runs every table- and figure-regeneration experiment in sequence and
+//! writes all CSV outputs under `results/` — the one-shot reproduction of
+//! the paper's evaluation section. Equivalent to running the individual
+//! binaries (`table1`–`table3`, `fig9`–`fig12`, `lowcov`, `validate_sim`).
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table3",
+        "table1",
+        "table2",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "lowcov",
+        "ablation_tau",
+        "tornado",
+        "export_dot",
+        "worth_distribution",
+        "report",
+        "validate_sim",
+    ];
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("executable directory");
+    let mut failures = Vec::new();
+    for bin in binaries {
+        let path = dir.join(bin);
+        println!();
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin} ({e}); build it with `cargo build -p gsu-bench --release`");
+                failures.push(bin);
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nAll experiments completed; CSVs in results/.");
+}

@@ -1,0 +1,40 @@
+//! Exports the three GSU SAN reward models (paper Figures 6–8) and their
+//! tangible state spaces as Graphviz DOT files under `results/` — the
+//! renderable counterparts of the paper's model diagrams.
+
+use performability::gsu::{rmgd, rmgp, rmnd};
+use performability::GsuParams;
+use san::{dot, StateSpace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    gsu_bench::banner(
+        "Model export",
+        "GSU SAN models (Figs. 6-8) and state spaces as Graphviz DOT",
+    );
+    let params = GsuParams::paper_baseline();
+    std::fs::create_dir_all("results")?;
+
+    let rmgd = rmgd::build(&params)?;
+    let rmgp = rmgp::build(&params)?;
+    let rmnd = rmnd::build(&params, params.mu_new)?;
+
+    for (name, model) in [
+        ("rmgd", &rmgd.model),
+        ("rmgp", &rmgp.model),
+        ("rmnd", &rmnd.model),
+    ] {
+        let model_path = format!("results/{name}_model.dot");
+        std::fs::write(&model_path, dot::model_to_dot(model))?;
+        let space = StateSpace::generate(model, &Default::default())?;
+        let space_path = format!("results/{name}_states.dot");
+        std::fs::write(&space_path, dot::state_space_to_dot(&space))?;
+        println!(
+            "{name}: {} places, {} activities, {} tangible states -> {model_path}, {space_path}",
+            model.n_places(),
+            model.n_activities(),
+            space.n_states()
+        );
+    }
+    println!("\nrender with e.g.: dot -Tsvg results/rmgd_model.dot -o rmgd.svg");
+    Ok(())
+}

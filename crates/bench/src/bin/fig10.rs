@@ -1,0 +1,42 @@
+//! Regenerates **Figure 10** of the paper: the effect of the performance
+//! overhead of safeguard activities on the optimal guarded-operation
+//! duration (θ = 10000 h).
+//!
+//! The paper compares α = β = 6000 (AT/checkpoint in 600 ms ⇒ ρ1 = 0.98,
+//! ρ2 = 0.95) against α = β = 2500 (1440 ms ⇒ ρ1 = 0.95, ρ2 = 0.90); the
+//! optimum moves from 7000 down to 6000 h.
+
+use gsu_bench::{ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs};
+use performability::{GsuAnalysis, GsuParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Figure 10",
+        "Effect of performance overhead on optimal G-OP duration (θ=10000)",
+    );
+    let args = ExperimentArgs::parse(10);
+    let base = GsuParams::paper_baseline();
+    let fast = GsuAnalysis::new(base)?;
+    let slow = GsuAnalysis::new(base.with_overhead_rates(2500.0, 2500.0)?)?;
+    println!(
+        "computed overhead fractions: α=β=6000 ⇒ ρ = {:.4}/{:.4};  α=β=2500 ⇒ ρ = {:.4}/{:.4}",
+        fast.rho().0,
+        fast.rho().1,
+        slow.rho().0,
+        slow.rho().1
+    );
+    let curves = vec![
+        Curve::sweep("ρ1=0.98, ρ2=0.95 (α=β=6000)", &fast, args.steps)?,
+        Curve::sweep("ρ1=0.95, ρ2=0.90 (α=β=2500)", &slow, args.steps)?,
+    ];
+
+    println!("{}", curve_table(&curves));
+    println!("{}", ascii_chart(&curves, 18));
+    for c in &curves {
+        let b = c.best();
+        println!("{}: optimal φ = {} with Y = {:.4}  (paper: 7000 / 6000)", c.label, b.phi, b.y);
+    }
+    write_csv(&args.csv_path("fig10.csv"), &curves)?;
+    println!("\nwrote {}", args.csv_path("fig10.csv").display());
+    Ok(())
+}

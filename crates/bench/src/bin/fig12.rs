@@ -1,0 +1,38 @@
+//! Regenerates **Figure 12** of the paper: the effect of the
+//! fault-manifestation rate on the optimal guarded-operation duration for a
+//! shorter mission window (θ = 5000 h).
+//!
+//! Paper result: the optima drop to 2500 h (µ_new = 10⁻⁴) and 2000 h
+//! (µ_new = 0.5·10⁻⁴), and Y falls off faster after its maximum than in the
+//! θ = 10000 study — a shorter exposure window favours ending the guard
+//! earlier.
+
+use gsu_bench::{ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs};
+use performability::{GsuAnalysis, GsuParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Figure 12",
+        "Effect of fault-manifestation rate on optimal G-OP duration (θ=5000)",
+    );
+    let args = ExperimentArgs::parse(10);
+    let base = GsuParams::paper_baseline().with_theta(5000.0)?;
+    let curves = vec![
+        Curve::sweep("µnew = 0.0001", &GsuAnalysis::new(base)?, args.steps)?,
+        Curve::sweep(
+            "µnew = 0.00005",
+            &GsuAnalysis::new(base.with_mu_new(5e-5)?)?,
+            args.steps,
+        )?,
+    ];
+
+    println!("{}", curve_table(&curves));
+    println!("{}", ascii_chart(&curves, 18));
+    for c in &curves {
+        let b = c.best();
+        println!("{}: optimal φ = {} with Y = {:.4}  (paper: 2500 / 2000)", c.label, b.phi, b.y);
+    }
+    write_csv(&args.csv_path("fig12.csv"), &curves)?;
+    println!("\nwrote {}", args.csv_path("fig12.csv").display());
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Figure 9** of the paper: the effect of the
+//! fault-manifestation rate µ_new on the optimal guarded-operation duration
+//! (θ = 10000 h).
+//!
+//! Paper result: optimal φ = 7000 for µ_new = 10⁻⁴ and 5000 for
+//! µ_new = 0.5·10⁻⁴; maximum Y ≈ 1.47 / ≈ 1.30.
+
+use gsu_bench::{ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs};
+use performability::{GsuAnalysis, GsuParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Figure 9",
+        "Effect of fault-manifestation rate on optimal G-OP duration (θ=10000)",
+    );
+    let args = ExperimentArgs::parse(10);
+    let base = GsuParams::paper_baseline();
+    let curves = vec![
+        Curve::sweep(
+            "µnew = 0.0001",
+            &GsuAnalysis::new(base)?,
+            args.steps,
+        )?,
+        Curve::sweep(
+            "µnew = 0.00005",
+            &GsuAnalysis::new(base.with_mu_new(5e-5)?)?,
+            args.steps,
+        )?,
+    ];
+
+    println!("{}", curve_table(&curves));
+    println!("{}", ascii_chart(&curves, 18));
+    for c in &curves {
+        let b = c.best();
+        println!("{}: optimal φ = {} with Y = {:.4}  (paper: 7000 / 5000)", c.label, b.phi, b.y);
+    }
+    write_csv(&args.csv_path("fig9.csv"), &curves)?;
+    println!("\nwrote {}", args.csv_path("fig9.csv").display());
+    Ok(())
+}

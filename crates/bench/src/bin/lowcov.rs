@@ -1,0 +1,46 @@
+//! Regenerates the **§6 low-coverage experiments** described in the text
+//! after Figure 11:
+//!
+//! * c = 0.20: the best Y is ≈1.06 (at φ = 4000) — "too insignificant to
+//!   justify the use of guarded operations of any length";
+//! * c = 0.10: Y < 1 for any φ in (0, θ] and decreasing in φ — guarded
+//!   operation is not worthwhile at all.
+
+use gsu_bench::{banner, curve_table, write_csv, Curve};
+use performability::{GsuAnalysis, GsuParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "§6 low-coverage study",
+        "Guarded operation under very low AT coverage (θ=10000, α=β=2500)",
+    );
+    let base = GsuParams::paper_baseline().with_overhead_rates(2500.0, 2500.0)?;
+    let mut curves = Vec::new();
+    for c in [0.20, 0.10] {
+        let analysis = GsuAnalysis::new(base.with_coverage(c)?)?;
+        curves.push(Curve::sweep(format!("c = {c:.2}"), &analysis, 20)?);
+    }
+    println!("{}", curve_table(&curves));
+
+    let b20 = curves[0].best();
+    println!(
+        "c = 0.20: max Y = {:.4} at φ = {} (paper: ≈1.06 at 4000 — benefit insignificant)",
+        b20.y, b20.phi
+    );
+    let c10 = &curves[1];
+    let b10 = c10.best();
+    let decreasing_tail = c10
+        .points
+        .windows(2)
+        .filter(|w| w[0].phi >= b10.phi)
+        .all(|w| w[1].y <= w[0].y + 1e-9);
+    let below_one_late = c10.points.iter().filter(|p| p.phi >= 4000.0).all(|p| p.y < 1.0);
+    println!(
+        "c = 0.10: max Y = {:.4}; Y < 1 for φ ≥ 4000: {}; decreasing past the max: {}",
+        b10.y, below_one_late, decreasing_tail
+    );
+    println!("(paper: Y < 1 and decreasing — G-OP not worthwhile at c = 0.10)");
+    write_csv(std::path::Path::new("results/lowcov.csv"), &curves)?;
+    println!("\nwrote results/lowcov.csv");
+    Ok(())
+}

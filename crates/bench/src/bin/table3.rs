@@ -1,0 +1,33 @@
+//! Regenerates **Table 3** of the paper: the parameter value assignment.
+
+use performability::GsuParams;
+
+fn main() {
+    gsu_bench::banner("Table 3", "Parameter value assignment (times in hours)");
+    let p = GsuParams::paper_baseline();
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>6} {:>6} {:>8} {:>8}",
+        "θ", "λ", "µnew", "µold", "c", "pext", "α", "β"
+    );
+    println!(
+        "{:>8} {:>8} {:>10.0e} {:>10.0e} {:>6} {:>6} {:>8} {:>8}",
+        p.theta, p.lambda, p.mu_new, p.mu_old, p.coverage, p.p_ext, p.alpha, p.beta
+    );
+    println!();
+    println!("Interpretation:");
+    println!(
+        "  λ = {} per hour  => one message every {:.1} s per process",
+        p.lambda,
+        3600.0 / p.lambda
+    );
+    println!(
+        "  α = β = {} per hour => AT / checkpoint completion in {:.0} ms",
+        p.alpha,
+        3.6e6 / p.alpha
+    );
+    println!(
+        "  µnew = {:.0e} per hour => mean time to fault manifestation {:.0} h",
+        p.mu_new,
+        1.0 / p.mu_new
+    );
+}

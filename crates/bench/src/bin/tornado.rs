@@ -1,0 +1,24 @@
+//! Parameter-sensitivity tornado for `Y(φ*)` — the systematic version of
+//! the paper's one-at-a-time §6 sensitivity studies.
+
+use performability::sensitivity::{local_sensitivity, tornado_table};
+use performability::{GsuAnalysis, GsuParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    gsu_bench::banner(
+        "Sensitivity tornado",
+        "Elasticity of Y at the optimal φ, ±10% parameter perturbations",
+    );
+    let params = GsuParams::paper_baseline();
+    let best = GsuAnalysis::new(params)?.optimal_phi(10, 12)?;
+    println!("baseline optimum: φ* = {:.0}, Y = {:.4}\n", best.phi, best.y);
+
+    let sens = local_sensitivity(params, best.phi, 0.10)?;
+    println!("{}", tornado_table(&sens));
+
+    println!("Reading: positive elasticity = increasing the parameter increases Y.");
+    println!("The paper's §6 findings appear quantitatively: coverage c and the");
+    println!("fault-manifestation rate µnew dominate; µold is irrelevant; the");
+    println!("safeguard completion rates matter only through ρ1/ρ2.");
+    Ok(())
+}

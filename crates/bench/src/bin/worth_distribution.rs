@@ -1,0 +1,47 @@
+//! Performability in Meyer's original sense (the paper's ref [4]): the
+//! **distribution** of accrued mission worth `W_φ`, estimated from sample
+//! paths, for the guarded-vs-unguarded decision at the baseline optimum.
+//!
+//! The expectation `E[W_φ]` that the translated reward variables deliver is
+//! one functional of this distribution; the histogram shows what it
+//! summarizes — the `S3` atom at zero, the γ-discounted `S2` band, and the
+//! `S1` mass just under the ideal `2θ`.
+
+use mdcd_sim::distribution::compare_guarded_unguarded;
+use performability::GsuParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    gsu_bench::banner(
+        "Worth distribution",
+        "Empirical distribution of W_φ at φ = 7000 vs unguarded (10000 reps)",
+    );
+    let params = GsuParams::paper_baseline();
+    let (guarded, unguarded) = compare_guarded_unguarded(params, 7000.0, 10_000, 7)?;
+
+    println!("unguarded (φ = 0):");
+    println!("{}", unguarded.histogram(10));
+    println!(
+        "  P[W = 0] = {:.3}   median = {:.0}   mean = {:.0}",
+        unguarded.zero_mass(),
+        unguarded.quantile(0.5),
+        unguarded.mean()
+    );
+
+    println!("\nguarded (φ = 7000):");
+    println!("{}", guarded.histogram(10));
+    println!(
+        "  P[W = 0] = {:.3}   median = {:.0}   mean = {:.0}",
+        guarded.zero_mass(),
+        guarded.quantile(0.5),
+        guarded.mean()
+    );
+
+    println!(
+        "\n25th-percentile worth improves from {:.0} to {:.0}: the guard's value is",
+        unguarded.quantile(0.25),
+        guarded.quantile(0.25)
+    );
+    println!("exactly the removal of the catastrophic atom at zero, at a small cost");
+    println!("to the best-case mass (safeguard overhead + γ discount).");
+    Ok(())
+}

@@ -1,0 +1,282 @@
+//! Shared harness utilities for the figure/table regeneration binaries and
+//! the Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §6 for the experiment index); this library provides the
+//! common plumbing: φ grids, labelled curve sweeps, ASCII plotting for the
+//! terminal, and CSV emission under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use performability::{GsuAnalysis, PerfError, SweepPoint};
+
+/// A labelled `Y(φ)` curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label (e.g. `µnew = 0.0001`).
+    pub label: String,
+    /// The swept points, ascending in φ.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Curve {
+    /// Sweeps `analysis` over the standard figure grid: `steps + 1` evenly
+    /// spaced φ values covering `[0, θ]` (the paper's figures use 10
+    /// intervals of θ/10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn sweep(
+        label: impl Into<String>,
+        analysis: &GsuAnalysis,
+        steps: usize,
+    ) -> Result<Self, PerfError> {
+        Ok(Curve {
+            label: label.into(),
+            points: analysis.sweep_grid(steps)?,
+        })
+    }
+
+    /// The point with the largest `Y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn best(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| a.y.total_cmp(&b.y))
+            .expect("curve must not be empty")
+    }
+}
+
+/// Renders curves as a fixed-width ASCII chart (φ on the x-axis, `Y` on the
+/// y-axis), mirroring the paper's figure layout well enough to eyeball
+/// optima in a terminal.
+pub fn ascii_chart(curves: &[Curve], height: usize) -> String {
+    let mut out = String::new();
+    let markers = ['*', 'o', '^', '+', 'x', '#'];
+    let all: Vec<&SweepPoint> = curves.iter().flat_map(|c| &c.points).collect();
+    if all.is_empty() {
+        return out;
+    }
+    let y_min = all.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let y_max = all.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+    let span = (y_max - y_min).max(1e-9);
+    let height = height.max(4);
+    let width = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+
+    let mut rows = vec![vec![' '; width * 3 + 2]; height];
+    for (ci, curve) in curves.iter().enumerate() {
+        let marker = markers[ci % markers.len()];
+        for (xi, p) in curve.points.iter().enumerate() {
+            let row = ((y_max - p.y) / span * (height - 1) as f64).round() as usize;
+            let col = xi * 3 + 1;
+            let cell = &mut rows[row.min(height - 1)][col];
+            // Overlapping curves show the later marker.
+            *cell = marker;
+        }
+    }
+    let _ = writeln!(out, "Y range [{y_min:.3}, {y_max:.3}]");
+    for row in rows {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "|{line}");
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width * 3 + 2));
+    for (ci, curve) in curves.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", markers[ci % markers.len()], curve.label);
+    }
+    out
+}
+
+/// Formats curves as a φ-indexed table (one row per φ, one `Y` column per
+/// curve), marking each curve's optimum with `*`.
+pub fn curve_table(curves: &[Curve]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>10}", "phi");
+    for c in curves {
+        let _ = write!(out, "  {:>18}", c.label);
+    }
+    let _ = writeln!(out);
+    let n = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+    let bests: Vec<f64> = curves.iter().map(|c| c.best().phi).collect();
+    for i in 0..n {
+        if let Some(p0) = curves.iter().find_map(|c| c.points.get(i)) {
+            let _ = write!(out, "{:>10.0}", p0.phi);
+        }
+        for (c, &best_phi) in curves.iter().zip(&bests) {
+            match c.points.get(i) {
+                Some(p) => {
+                    let mark = if p.phi == best_phi { "*" } else { " " };
+                    let _ = write!(out, "  {:>17.4}{mark}", p.y);
+                }
+                None => {
+                    let _ = write!(out, "  {:>18}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes curves to a CSV file (`phi` column plus one `Y` column per curve,
+/// then per-curve S1/S2/γ diagnostics).
+///
+/// # Errors
+///
+/// Returns I/O errors from file creation or writing.
+pub fn write_csv(path: &Path, curves: &[Curve]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::new();
+    let _ = write!(body, "phi");
+    for c in curves {
+        let label = c.label.replace(',', ";");
+        let _ = write!(body, ",Y[{label}],S1[{label}],S2[{label}],gamma[{label}]");
+    }
+    let _ = writeln!(body);
+    let n = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+    for i in 0..n {
+        if let Some(p0) = curves.iter().find_map(|c| c.points.get(i)) {
+            let _ = write!(body, "{}", p0.phi);
+        }
+        for c in curves {
+            match c.points.get(i) {
+                Some(p) => {
+                    let _ = write!(body, ",{},{},{},{}", p.y, p.y_s1, p.y_s2, p.gamma);
+                }
+                None => {
+                    let _ = write!(body, ",,,,");
+                }
+            }
+        }
+        let _ = writeln!(body);
+    }
+    std::fs::write(path, body)
+}
+
+/// Command-line options shared by the figure-regeneration binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentArgs {
+    /// Number of φ grid intervals (`--steps N`; figures default to 10).
+    pub steps: usize,
+    /// Output directory for CSVs (`--out DIR`; default `results`).
+    pub out_dir: std::path::PathBuf,
+}
+
+impl ExperimentArgs {
+    /// Parses `--steps N` and `--out DIR` from the process arguments,
+    /// ignoring anything else (so the binaries stay composable with cargo).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when a flag is present without a valid
+    /// value — the binaries are terminal tools, not a library surface.
+    pub fn parse(default_steps: usize) -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut parsed = ExperimentArgs {
+            steps: default_steps,
+            out_dir: std::path::PathBuf::from("results"),
+        };
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--steps" => {
+                    let value = args.next().expect("--steps requires a number");
+                    parsed.steps = value
+                        .parse()
+                        .unwrap_or_else(|_| panic!("invalid --steps value '{value}'"));
+                    assert!(parsed.steps >= 1, "--steps must be >= 1");
+                }
+                "--out" => {
+                    let value = args.next().expect("--out requires a directory");
+                    parsed.out_dir = std::path::PathBuf::from(value);
+                }
+                other => {
+                    eprintln!("(ignoring unknown argument '{other}')");
+                }
+            }
+        }
+        parsed
+    }
+
+    /// Path for a CSV file inside the output directory.
+    pub fn csv_path(&self, name: &str) -> std::path::PathBuf {
+        self.out_dir.join(name)
+    }
+}
+
+/// Prints the standard header for an experiment binary.
+pub fn banner(experiment: &str, description: &str) {
+    println!("==============================================================");
+    println!("{experiment}: {description}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performability::GsuParams;
+
+    fn small_curve() -> Curve {
+        let an = GsuAnalysis::with_fixed_overhead(GsuParams::paper_baseline(), 0.98, 0.95)
+            .expect("baseline is valid");
+        Curve::sweep("test", &an, 4).unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_grid() {
+        let c = small_curve();
+        assert_eq!(c.points.len(), 5);
+        assert_eq!(c.points[0].phi, 0.0);
+    }
+
+    #[test]
+    fn best_is_max_y() {
+        let c = small_curve();
+        let best = c.best();
+        assert!(c.points.iter().all(|p| p.y <= best.y));
+    }
+
+    #[test]
+    fn table_marks_optimum() {
+        let c = small_curve();
+        let t = curve_table(&[c]);
+        assert!(t.contains('*'));
+        assert!(t.contains("phi"));
+    }
+
+    #[test]
+    fn chart_renders_all_labels() {
+        let c1 = small_curve();
+        let mut c2 = small_curve();
+        c2.label = "second".into();
+        let chart = ascii_chart(&[c1, c2], 10);
+        assert!(chart.contains("test"));
+        assert!(chart.contains("second"));
+        assert!(chart.contains("Y range"));
+    }
+
+    #[test]
+    fn chart_of_empty_is_empty() {
+        assert_eq!(ascii_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("gsu-bench-test");
+        let path = dir.join("curve.csv");
+        let c = small_curve();
+        write_csv(&path, &[c]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("phi,"));
+        assert_eq!(text.lines().count(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,120 @@
+use std::fmt;
+
+use markov::MarkovError;
+use san::SanError;
+
+/// Errors produced by the performability analysis layer.
+#[derive(Debug)]
+pub enum PerfError {
+    /// A parameter value is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+        /// Description of the valid domain.
+        expected: &'static str,
+    },
+    /// A requested guarded-operation duration φ is outside `[0, θ]`.
+    PhiOutOfRange {
+        /// The supplied φ.
+        phi: f64,
+        /// The mission window θ.
+        theta: f64,
+    },
+    /// A computed measure violated a structural invariant (probability
+    /// outside [0, 1], negative expected worth, …) — indicates a modelling
+    /// bug, surfaced loudly rather than propagated silently.
+    MeasureInvariant {
+        /// Description of the violated invariant.
+        context: String,
+    },
+    /// Building or solving a SAN reward model failed.
+    San(SanError),
+    /// A direct Markov-level computation failed.
+    Markov(MarkovError),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name} = {value} (expected {expected})"),
+            PerfError::PhiOutOfRange { phi, theta } => {
+                write!(f, "guarded-operation duration {phi} outside [0, {theta}]")
+            }
+            PerfError::MeasureInvariant { context } => {
+                write!(f, "measure invariant violated: {context}")
+            }
+            PerfError::San(e) => write!(f, "SAN model failure: {e}"),
+            PerfError::Markov(e) => write!(f, "markov solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PerfError::San(e) => Some(e),
+            PerfError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SanError> for PerfError {
+    fn from(e: SanError) -> Self {
+        PerfError::San(e)
+    }
+}
+
+impl From<MarkovError> for PerfError {
+    fn from(e: MarkovError) -> Self {
+        PerfError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let cases = vec![
+            PerfError::InvalidParameter {
+                name: "theta",
+                value: -1.0,
+                expected: "> 0",
+            },
+            PerfError::PhiOutOfRange {
+                phi: 2.0,
+                theta: 1.0,
+            },
+            PerfError::MeasureInvariant {
+                context: "Y denominator <= 0".into(),
+            },
+            PerfError::San(SanError::StateSpaceLimit { limit: 5 }),
+            PerfError::Markov(MarkovError::Reducible { components: 2 }),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        assert!(PerfError::San(SanError::StateSpaceLimit { limit: 5 })
+            .source()
+            .is_some());
+        assert!(PerfError::PhiOutOfRange {
+            phi: 2.0,
+            theta: 1.0
+        }
+        .source()
+        .is_none());
+    }
+}

@@ -1,0 +1,19 @@
+//! The three SAN reward models at the base-model level (paper §5).
+//!
+//! The successive model translation of §4 reduces the performability index
+//! `Y` to nine constituent reward variables; this module provides the
+//! composite base model that supports them:
+//!
+//! * [`rmgd`] — `RMGd`, dependability behaviour during the guarded-operation
+//!   interval (submodel of `X'` for dependability measures; paper Fig. 6);
+//! * [`rmgp`] — `RMGp`, performance-overhead behaviour under the G-OP mode
+//!   (submodel of `X'` for the steady-state measures `ρ1`, `ρ2`; Fig. 7);
+//! * [`rmnd`] — `RMNd`, normal-mode behaviour (the model of `X''`; Fig. 8).
+
+pub mod rmgd;
+pub mod rmgp;
+pub mod rmnd;
+
+pub use rmgd::{Rmgd, RmgdPlaces};
+pub use rmgp::{Rmgp, RmgpPlaces};
+pub use rmnd::{Rmnd, RmndPlaces};

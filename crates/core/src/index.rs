@@ -1,0 +1,263 @@
+//! Assembly of the performability index `Y` from constituent measures.
+
+use std::fmt;
+
+use crate::{translation, ConstituentMeasures, PerfError, Result};
+
+/// Policy for the discount factor γ of Eq. 4 — the additional mission-worth
+/// reduction charged to an unsuccessful-but-safe upgrade relative to a
+/// successful one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GammaPolicy {
+    /// A fixed discount in `(0, 1]`.
+    Constant(f64),
+    /// The paper's §6 choice: `γ = 1 − τ/θ`, where `τ` is "the mean time to
+    /// error detection" — i.e. the Table 1 constituent measure
+    /// `∫₀^φ τh(τ)dτ` ([`ConstituentMeasures::i_tau_h`]). Safeguard cost
+    /// paid up to the detection point is wasted when the upgrade is
+    /// abandoned, so later detections are worth less; because this τ grows
+    /// with φ, the discount is what turns `Y(φ)` over and produces the
+    /// interior optimum of Figures 9–12.
+    MeanDetectionFraction,
+    /// An alternative reading for sensitivity studies: `γ = 1 − τ̄/θ` with
+    /// the *exact conditional* mean detection time
+    /// `τ̄ = E[τ·1{detect}]/P[detect]`. This matches the simulator's
+    /// per-path discounting in expectation much more closely, but yields
+    /// a systematically weaker downturn of `Y(φ)` (see the `ablation_tau`
+    /// experiment).
+    ExactMeanDetectionFraction,
+}
+
+impl Default for GammaPolicy {
+    fn default() -> Self {
+        GammaPolicy::MeanDetectionFraction
+    }
+}
+
+impl GammaPolicy {
+    /// Evaluates γ for a mission window θ and a set of constituent measures.
+    pub fn gamma(&self, theta: f64, measures: &ConstituentMeasures) -> f64 {
+        match *self {
+            GammaPolicy::Constant(g) => g,
+            GammaPolicy::MeanDetectionFraction => {
+                (1.0 - measures.i_tau_h / theta).clamp(0.0, 1.0)
+            }
+            GammaPolicy::ExactMeanDetectionFraction => {
+                match measures.conditional_mean_detection_time() {
+                    Some(tau_bar) => (1.0 - tau_bar / theta).clamp(0.0, 1.0),
+                    None => 1.0,
+                }
+            }
+        }
+    }
+}
+
+/// One evaluated point of the performability analysis: the index `Y(φ)`
+/// together with every intermediate quantity of the translated formulation,
+/// exposed per C-INTERMEDIATE so callers can inspect *why* a φ wins (the
+/// paper does exactly this in §6 when explaining the θ=5000 results).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Guarded-operation duration evaluated.
+    pub phi: f64,
+    /// The performability index `Y(φ)` (Eq. 1); `> 1` means guarded
+    /// operation reduces expected total performance degradation.
+    pub y: f64,
+    /// `E[W₀]` — expected mission worth with no guarded operation (Eq. 5).
+    pub e_w0: f64,
+    /// `E[W_φ]` — expected mission worth with G-OP duration φ (Eq. 6).
+    pub e_w_phi: f64,
+    /// The `S1` (upgrade succeeds) contribution to `E[W_φ]` (Eq. 8).
+    pub y_s1: f64,
+    /// The `S2` (error detected and recovered) contribution (Eqs. 15–21).
+    pub y_s2: f64,
+    /// The discount factor applied to `S2` worth.
+    pub gamma: f64,
+    /// The constituent reward variables behind this point.
+    pub measures: ConstituentMeasures,
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "φ = {:8.1}  Y = {:.4}  (E[W0] = {:.1}, E[Wφ] = {:.1}, S1 = {:.1}, S2 = {:.1}, γ = {:.3})",
+            self.phi, self.y, self.e_w0, self.e_w_phi, self.y_s1, self.y_s2, self.gamma
+        )
+    }
+}
+
+/// Assembles `Y(φ)` and all intermediate quantities from validated
+/// constituent measures (the last translation step of Figure 3).
+///
+/// # Errors
+///
+/// * [`PerfError::MeasureInvariant`] when the measures violate structural
+///   bounds or the assembled worths leave `[0, 2θ]`.
+pub fn assemble(
+    theta: f64,
+    phi: f64,
+    measures: &ConstituentMeasures,
+    gamma_policy: GammaPolicy,
+) -> Result<SweepPoint> {
+    measures.validate(phi)?;
+    let ideal = 2.0 * theta;
+    let e_w0 = translation::e_w0(theta, measures.p_a1_norm_theta);
+
+    let (y_s1, y_s2, gamma) = if phi == 0.0 {
+        // Boundary case (§3.3, §4.1): S2 is degenerate and S1 reduces to the
+        // no-guard scenario, so E[W_0] = E[W_φ].
+        (e_w0, 0.0, 1.0)
+    } else {
+        let rho_sum = measures.rho_sum();
+        let y_s1 = translation::y_s1(
+            theta,
+            phi,
+            rho_sum,
+            measures.p_a1_gop,
+            measures.p_a1_norm_rem,
+        );
+        let gamma = gamma_policy.gamma(theta, measures);
+        let minuend = translation::s2_minuend(theta, rho_sum, measures.i_h, measures.i_tau_h);
+        let subtrahend =
+            translation::s2_subtrahend(theta, measures.i_hf, measures.i_h, measures.i_f);
+        // The translated S2 worth can dip (harmlessly) below zero when
+        // detection mass is tiny — the Table 1 ∫τh structure then counts
+        // time the exact integral would not (see DESIGN.md). Clamp at zero:
+        // worth is non-negative by construction (Eq. 4).
+        let y_s2 = translation::y_s2(gamma, minuend, subtrahend).max(0.0);
+        (y_s1, y_s2, gamma)
+    };
+
+    let e_w_phi = y_s1 + y_s2;
+    if !(-(1e-9) * ideal..=ideal * (1.0 + 1e-9)).contains(&e_w_phi) {
+        return Err(PerfError::MeasureInvariant {
+            context: format!("E[Wφ] = {e_w_phi} outside [0, 2θ = {ideal}]"),
+        });
+    }
+    let y = translation::performability_index(theta, e_w0, e_w_phi).ok_or_else(|| {
+        PerfError::MeasureInvariant {
+            context: format!("E[Wφ] = {e_w_phi} reaches ideal worth; Y undefined"),
+        }
+    })?;
+
+    Ok(SweepPoint {
+        phi,
+        y,
+        e_w0,
+        e_w_phi,
+        y_s1,
+        y_s2,
+        gamma,
+        measures: *measures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measures() -> ConstituentMeasures {
+        ConstituentMeasures {
+            p_a1_gop: 0.5,
+            p_a1_norm_theta: 0.37,
+            p_a1_norm_rem: 0.74,
+            rho1: 0.98,
+            rho2: 0.95,
+            i_h: 0.45,
+            i_tau_h: 5000.0,
+            i_tau_h_exact: 1400.0,
+            i_hf: 1e-4,
+            i_f: 3e-5,
+        }
+    }
+
+    #[test]
+    fn phi_zero_gives_y_one() {
+        let mut m = measures();
+        // At φ=0 the G-OP measures are degenerate.
+        m.p_a1_gop = 1.0;
+        m.i_h = 0.0;
+        m.i_tau_h = 0.0;
+        m.i_tau_h_exact = 0.0;
+        m.i_hf = 0.0;
+        m.p_a1_norm_rem = m.p_a1_norm_theta;
+        let pt = assemble(10_000.0, 0.0, &m, GammaPolicy::default()).unwrap();
+        assert!((pt.y - 1.0).abs() < 1e-12);
+        assert_eq!(pt.e_w0, pt.e_w_phi);
+        assert_eq!(pt.y_s2, 0.0);
+    }
+
+    #[test]
+    fn worth_components_positive_at_interior_phi() {
+        let pt = assemble(10_000.0, 7000.0, &measures(), GammaPolicy::default()).unwrap();
+        assert!(pt.y_s1 > 0.0);
+        assert!(pt.y_s2 > 0.0);
+        assert!(pt.y > 1.0, "these measures describe a beneficial G-OP");
+        assert!(pt.e_w_phi < 2.0 * 10_000.0);
+    }
+
+    #[test]
+    fn gamma_constant_policy() {
+        let pt = assemble(10_000.0, 7000.0, &measures(), GammaPolicy::Constant(0.5)).unwrap();
+        assert_eq!(pt.gamma, 0.5);
+        let pt2 = assemble(10_000.0, 7000.0, &measures(), GammaPolicy::Constant(1.0)).unwrap();
+        assert!(pt2.y_s2 > pt.y_s2);
+    }
+
+    #[test]
+    fn gamma_mean_detection_policy_matches_formula() {
+        let m = measures();
+        let pt = assemble(10_000.0, 7000.0, &m, GammaPolicy::MeanDetectionFraction).unwrap();
+        assert!((pt.gamma - (1.0 - m.i_tau_h / 10_000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_is_one_at_instant_detection() {
+        let mut m = measures();
+        m.i_tau_h = 0.0;
+        m.i_tau_h_exact = 0.0;
+        let pt = assemble(10_000.0, 7000.0, &m, GammaPolicy::MeanDetectionFraction).unwrap();
+        assert_eq!(pt.gamma, 1.0);
+    }
+
+    #[test]
+    fn exact_gamma_policy_is_weaker_discount() {
+        let m = measures();
+        let table = assemble(10_000.0, 7000.0, &m, GammaPolicy::MeanDetectionFraction).unwrap();
+        let exact =
+            assemble(10_000.0, 7000.0, &m, GammaPolicy::ExactMeanDetectionFraction).unwrap();
+        // Exact conditional mean < Table-1 measure => larger γ => larger Y.
+        assert!(exact.gamma > table.gamma);
+        assert!(exact.y > table.y);
+        let want = 1.0 - (m.i_tau_h_exact / (m.i_h + m.i_hf)) / 10_000.0;
+        assert!((exact.gamma - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s2_clamped_nonnegative_without_detection() {
+        let mut m = measures();
+        m.i_h = 0.0;
+        m.i_hf = 0.0;
+        m.i_tau_h = 100.0;
+        m.i_tau_h_exact = 0.0;
+        let pt = assemble(10_000.0, 7000.0, &m, GammaPolicy::MeanDetectionFraction).unwrap();
+        // Minuend is negative here; worth is clamped at zero (Eq. 4 bounds).
+        assert_eq!(pt.y_s2, 0.0);
+    }
+
+    #[test]
+    fn invalid_measures_rejected() {
+        let mut m = measures();
+        m.p_a1_gop = 2.0;
+        assert!(assemble(10_000.0, 7000.0, &m, GammaPolicy::default()).is_err());
+    }
+
+    #[test]
+    fn display_shows_key_fields() {
+        let pt = assemble(10_000.0, 7000.0, &measures(), GammaPolicy::default()).unwrap();
+        let s = pt.to_string();
+        assert!(s.contains("Y ="));
+        assert!(s.contains("γ ="));
+    }
+}

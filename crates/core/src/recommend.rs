@@ -1,0 +1,229 @@
+//! Engineering decision support on top of the performability index.
+//!
+//! The paper positions `Y` as a decision aid "in various capacities" (§6):
+//! it picks the best φ, *and* it tells you whether guarding is worth doing
+//! at all (their c = 0.20 study: a maximum of 1.06 is "too insignificant to
+//! justify the use of guarded operations of any length"). This module
+//! encodes that decision logic with explicit thresholds, adding the mission
+//! safety constraint the worth formulation implies (failure nullifies the
+//! mission period).
+
+use crate::{GsuAnalysis, PerfError, Result, SweepPoint};
+
+/// Decision thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Minimum degradation-reduction benefit to justify the guard's
+    /// operational complexity: require `Y(φ*) ≥ 1 + min_benefit`
+    /// (e.g. `0.05` demands at least a 5% reduction).
+    pub min_benefit: f64,
+    /// Optional cap on the probability of mission failure over θ
+    /// (`P[S3]`); `None` disables the safety check.
+    pub max_failure_probability: Option<f64>,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Constraints {
+            min_benefit: 0.05,
+            max_failure_probability: None,
+        }
+    }
+}
+
+/// The recommended course of action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Run guarded operation for the stated duration.
+    Guard {
+        /// Recommended guarded-operation duration (hours).
+        phi: f64,
+    },
+    /// Activate the upgrade without a guard — the achievable benefit does
+    /// not justify the escort.
+    FlyUnguarded,
+    /// Neither guarded nor unguarded operation meets the failure cap —
+    /// keep the old version (reject or postpone the upgrade).
+    RejectUpgrade,
+}
+
+/// A full recommendation with its supporting numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The decision.
+    pub decision: Decision,
+    /// The best evaluated point (φ*, Y*, and all constituent measures).
+    pub best: SweepPoint,
+    /// Mission-failure probability when guarding for φ*.
+    pub failure_probability_guarded: f64,
+    /// Mission-failure probability without a guard.
+    pub failure_probability_unguarded: f64,
+}
+
+/// Mission-failure probability `P[S3]` at an evaluated point:
+/// `1 − P[S1] − P[S2]` with `P[S1] = P(X'_φ∈A'1)·P(X''_{θ−φ}∈A''1)` and
+/// `P[S2] = ∫h·(1 − ∫f)`.
+pub fn failure_probability(point: &SweepPoint) -> f64 {
+    let m = &point.measures;
+    let p_s1 = m.p_a1_gop * m.p_a1_norm_rem;
+    let p_s2 = m.i_h * (1.0 - m.i_f);
+    (1.0 - p_s1 - p_s2).clamp(0.0, 1.0)
+}
+
+/// Produces a recommendation for the analysed parameter set.
+///
+/// Decision order: safety first (the failure cap), then benefit (the
+/// `min_benefit` threshold on `Y(φ*)`).
+///
+/// # Errors
+///
+/// Returns [`PerfError::InvalidParameter`] for a negative `min_benefit` or
+/// a failure cap outside `[0, 1]`, and propagates evaluation failures.
+pub fn recommend(
+    analysis: &GsuAnalysis,
+    constraints: &Constraints,
+    grid: usize,
+    refinements: usize,
+) -> Result<Recommendation> {
+    if !(constraints.min_benefit >= 0.0) || !constraints.min_benefit.is_finite() {
+        return Err(PerfError::InvalidParameter {
+            name: "min_benefit",
+            value: constraints.min_benefit,
+            expected: "finite and >= 0",
+        });
+    }
+    if let Some(cap) = constraints.max_failure_probability {
+        if !(0.0..=1.0).contains(&cap) {
+            return Err(PerfError::InvalidParameter {
+                name: "max_failure_probability",
+                value: cap,
+                expected: "within [0, 1]",
+            });
+        }
+    }
+
+    let best = analysis.optimal_phi(grid, refinements)?;
+    let p_fail_guarded = failure_probability(&best);
+    // Unguarded failure probability: the mission fails unless the upgraded
+    // system survives all of θ (Eq. 3).
+    let p_fail_unguarded = 1.0 - best.measures.p_a1_norm_theta;
+
+    let guarded_safe = constraints
+        .max_failure_probability
+        .is_none_or(|cap| p_fail_guarded <= cap);
+    let unguarded_safe = constraints
+        .max_failure_probability
+        .is_none_or(|cap| p_fail_unguarded <= cap);
+    let beneficial = best.y >= 1.0 + constraints.min_benefit;
+
+    let decision = if !guarded_safe && !unguarded_safe {
+        Decision::RejectUpgrade
+    } else if guarded_safe && (beneficial || !unguarded_safe) {
+        Decision::Guard { phi: best.phi }
+    } else {
+        Decision::FlyUnguarded
+    };
+
+    Ok(Recommendation {
+        decision,
+        best,
+        failure_probability_guarded: p_fail_guarded,
+        failure_probability_unguarded: p_fail_unguarded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GsuParams;
+
+    fn baseline_analysis() -> GsuAnalysis {
+        GsuAnalysis::new(GsuParams::paper_baseline()).unwrap()
+    }
+
+    #[test]
+    fn baseline_recommends_the_guard() {
+        let rec = recommend(&baseline_analysis(), &Constraints::default(), 10, 8).unwrap();
+        match rec.decision {
+            Decision::Guard { phi } => assert!((6000.0..=8000.0).contains(&phi)),
+            other => panic!("expected Guard, got {other:?}"),
+        }
+        // Guarding converts most failures into safe downgrades.
+        assert!(rec.failure_probability_guarded < rec.failure_probability_unguarded);
+        assert!(rec.failure_probability_unguarded > 0.6); // 1 − e^{−1}
+        assert!(rec.failure_probability_guarded < 0.25);
+    }
+
+    #[test]
+    fn absurd_benefit_threshold_skips_the_guard() {
+        let constraints = Constraints {
+            min_benefit: 10.0,
+            max_failure_probability: None,
+        };
+        let rec = recommend(&baseline_analysis(), &constraints, 10, 4).unwrap();
+        assert_eq!(rec.decision, Decision::FlyUnguarded);
+    }
+
+    #[test]
+    fn low_coverage_benefit_fails_the_threshold() {
+        // c = 0.20 (the paper's "too insignificant to justify" case): max Y
+        // ≈ 1.035 < 1.05.
+        let params = GsuParams::paper_baseline()
+            .with_overhead_rates(2500.0, 2500.0)
+            .unwrap()
+            .with_coverage(0.20)
+            .unwrap();
+        let analysis = GsuAnalysis::new(params).unwrap();
+        let rec = recommend(&analysis, &Constraints::default(), 10, 4).unwrap();
+        assert_eq!(rec.decision, Decision::FlyUnguarded);
+    }
+
+    #[test]
+    fn impossible_safety_cap_rejects_the_upgrade() {
+        let constraints = Constraints {
+            min_benefit: 0.0,
+            max_failure_probability: Some(1e-6),
+        };
+        let rec = recommend(&baseline_analysis(), &constraints, 10, 4).unwrap();
+        assert_eq!(rec.decision, Decision::RejectUpgrade);
+    }
+
+    #[test]
+    fn safety_cap_forces_the_guard_even_without_benefit() {
+        // A cap the guard meets but the unguarded system does not, with an
+        // unreachable benefit threshold: safety wins.
+        let constraints = Constraints {
+            min_benefit: 10.0,
+            max_failure_probability: Some(0.3),
+        };
+        let rec = recommend(&baseline_analysis(), &constraints, 10, 4).unwrap();
+        assert!(matches!(rec.decision, Decision::Guard { .. }));
+    }
+
+    #[test]
+    fn invalid_constraints_rejected() {
+        let analysis = baseline_analysis();
+        let bad_benefit = Constraints {
+            min_benefit: -0.1,
+            max_failure_probability: None,
+        };
+        assert!(recommend(&analysis, &bad_benefit, 4, 2).is_err());
+        let bad_cap = Constraints {
+            min_benefit: 0.0,
+            max_failure_probability: Some(1.5),
+        };
+        assert!(recommend(&analysis, &bad_cap, 4, 2).is_err());
+    }
+
+    #[test]
+    fn failure_probability_is_consistent() {
+        let analysis = baseline_analysis();
+        let pt = analysis.evaluate(7000.0).unwrap();
+        let p = failure_probability(&pt);
+        assert!((0.0..=1.0).contains(&p));
+        // At φ = 0 the guarded failure probability equals the unguarded one.
+        let p0 = analysis.evaluate(0.0).unwrap();
+        let want = 1.0 - p0.measures.p_a1_norm_theta;
+        assert!((failure_probability(&p0) - want).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,488 @@
+//! The onboard-validation stage of guarded software upgrading (paper §2).
+//!
+//! Before guarded operation begins, the new version runs in shadow mode:
+//! its outputs are suppressed but logged, and the onboard error log is
+//! downloaded "for validation-results monitoring and Bayesian-statistics
+//! reliability analyses" (the paper cites Littlewood & Wright's stopping
+//! rules for operational testing). The outcome of this stage is the
+//! fault-manifestation rate estimate `µ_new` and the mission window `θ`
+//! that parameterize the performability analysis.
+//!
+//! This module implements that stage:
+//!
+//! * [`FaultRatePosterior`] — conjugate Gamma–Poisson inference on the
+//!   manifestation rate from error-log counts and exposure time;
+//! * [`StoppingRule`] — "continue validation until
+//!   `P[µ ≤ target] ≥ confidence`", with the fault-free exposure required
+//!   to satisfy it;
+//! * [`posterior_predictive_y`] — the performability index averaged over
+//!   the posterior uncertainty in `µ_new` (quantile quadrature), and
+//!   [`robust_optimal_phi`] — the conservative design at an upper credible
+//!   rate.
+
+use crate::{GsuAnalysis, GsuParams, PerfError, Result, SweepPoint};
+
+/// Natural logarithm of the gamma function (Lanczos approximation, ~15
+/// significant digits for positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π/sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x)/Γ(a)` by series
+/// (for `x < a+1`) or continued fraction (otherwise).
+pub fn reg_gamma_lower(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "reg_gamma_lower domain: a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    let ln_prefactor = a * x.ln() - x - ln_gamma(a);
+    if x < a + 1.0 {
+        // Series: P(a,x) = e^{-x} x^a / Γ(a) · Σ x^n / (a·(a+1)···(a+n)).
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-16 {
+                break;
+            }
+        }
+        (ln_prefactor.exp() * sum).clamp(0.0, 1.0)
+    } else {
+        // Continued fraction for Q(a,x) (Lentz's method).
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-16 {
+                break;
+            }
+        }
+        let q = (ln_prefactor.exp() * h).clamp(0.0, 1.0);
+        1.0 - q
+    }
+}
+
+/// Posterior over a fault-manifestation rate under the conjugate
+/// Gamma–Poisson model: manifestations are a Poisson process of unknown
+/// rate µ; with prior `Gamma(shape, rate)` and an observed error log of
+/// `k` manifestations over exposure `T`, the posterior is
+/// `Gamma(shape + k, rate + T)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRatePosterior {
+    /// Gamma shape parameter `a`.
+    pub shape: f64,
+    /// Gamma rate parameter `b` (per hour) — the posterior mean is `a/b`.
+    pub rate: f64,
+}
+
+impl FaultRatePosterior {
+    /// A weakly-informative prior centred on `prior_mean` with one pseudo
+    /// observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::InvalidParameter`] for non-positive means.
+    pub fn weakly_informative(prior_mean: f64) -> Result<Self> {
+        if !(prior_mean > 0.0) || !prior_mean.is_finite() {
+            return Err(PerfError::InvalidParameter {
+                name: "prior_mean",
+                value: prior_mean,
+                expected: "finite and > 0",
+            });
+        }
+        Ok(FaultRatePosterior {
+            shape: 1.0,
+            rate: 1.0 / prior_mean,
+        })
+    }
+
+    /// Conjugate update from an error log: `faults` manifestations over
+    /// `exposure` hours of shadow-mode execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::InvalidParameter`] for negative exposure.
+    pub fn observe(mut self, faults: u64, exposure: f64) -> Result<Self> {
+        if !(exposure >= 0.0) || !exposure.is_finite() {
+            return Err(PerfError::InvalidParameter {
+                name: "exposure",
+                value: exposure,
+                expected: "finite and >= 0",
+            });
+        }
+        self.shape += faults as f64;
+        self.rate += exposure;
+        Ok(self)
+    }
+
+    /// Posterior mean `E[µ]`.
+    pub fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    /// Posterior variance.
+    pub fn variance(&self) -> f64 {
+        self.shape / (self.rate * self.rate)
+    }
+
+    /// `P[µ ≤ mu]` (the Gamma CDF).
+    pub fn probability_below(&self, mu: f64) -> f64 {
+        if mu <= 0.0 {
+            return 0.0;
+        }
+        reg_gamma_lower(self.shape, self.rate * mu)
+    }
+
+    /// The `q`-quantile of the posterior by bisection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q < 1.0, "quantile level must be in (0, 1)");
+        let mut hi = self.mean().max(1e-300);
+        while self.probability_below(hi) < q {
+            hi *= 2.0;
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.probability_below(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// A Littlewood–Wright style stopping rule for operational testing: stop
+/// validation (and admit the upgrade into mission operation) once
+/// `P[µ ≤ target_rate] ≥ confidence`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// The acceptable fault-manifestation rate.
+    pub target_rate: f64,
+    /// Required posterior confidence, e.g. `0.9`.
+    pub confidence: f64,
+}
+
+impl StoppingRule {
+    /// Creates a validated rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::InvalidParameter`] on a non-positive target or
+    /// a confidence outside `(0, 1)`.
+    pub fn new(target_rate: f64, confidence: f64) -> Result<Self> {
+        if !(target_rate > 0.0) || !target_rate.is_finite() {
+            return Err(PerfError::InvalidParameter {
+                name: "target_rate",
+                value: target_rate,
+                expected: "finite and > 0",
+            });
+        }
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(PerfError::InvalidParameter {
+                name: "confidence",
+                value: confidence,
+                expected: "within (0, 1)",
+            });
+        }
+        Ok(StoppingRule {
+            target_rate,
+            confidence,
+        })
+    }
+
+    /// Whether the posterior already satisfies the rule.
+    pub fn satisfied(&self, posterior: &FaultRatePosterior) -> bool {
+        posterior.probability_below(self.target_rate) >= self.confidence
+    }
+
+    /// Additional **fault-free** shadow exposure needed to satisfy the rule
+    /// (∞-free: returns `None` when even unbounded exposure cannot, which
+    /// does not happen for a Gamma posterior — more exposure always helps).
+    pub fn required_fault_free_exposure(&self, posterior: &FaultRatePosterior) -> Option<f64> {
+        if self.satisfied(posterior) {
+            return Some(0.0);
+        }
+        let check = |extra: f64| {
+            FaultRatePosterior {
+                shape: posterior.shape,
+                rate: posterior.rate + extra,
+            }
+            .probability_below(self.target_rate)
+                >= self.confidence
+        };
+        let mut hi = posterior.rate.max(1.0);
+        let mut grew = 0;
+        while !check(hi) {
+            hi *= 2.0;
+            grew += 1;
+            if grew > 200 {
+                return None;
+            }
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if check(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+/// The performability index averaged over posterior uncertainty in `µ_new`:
+/// `E_µ[Y(φ; µ)]` by mid-quantile quadrature with `points` nodes (each node
+/// costs one full pipeline build, so 8–16 points is the practical range).
+///
+/// # Errors
+///
+/// Propagates pipeline failures; `points` must be ≥ 1.
+pub fn posterior_predictive_y(
+    posterior: &FaultRatePosterior,
+    params: GsuParams,
+    phi: f64,
+    points: usize,
+) -> Result<f64> {
+    if points == 0 {
+        return Err(PerfError::InvalidParameter {
+            name: "points",
+            value: 0.0,
+            expected: ">= 1",
+        });
+    }
+    let mut acc = 0.0;
+    for i in 0..points {
+        let q = (i as f64 + 0.5) / points as f64;
+        let mu = posterior.quantile(q).max(1e-300);
+        let analysis = GsuAnalysis::new(params.with_mu_new(mu)?)?;
+        acc += analysis.evaluate(phi)?.y;
+    }
+    Ok(acc / points as f64)
+}
+
+/// Conservative design: the optimal guarded-operation duration at the
+/// `credible` upper posterior quantile of `µ_new` (e.g. `0.9` designs for
+/// the 90th-percentile worst plausible rate).
+///
+/// # Errors
+///
+/// Propagates pipeline failures; `credible` must lie in `(0, 1)`.
+pub fn robust_optimal_phi(
+    posterior: &FaultRatePosterior,
+    params: GsuParams,
+    credible: f64,
+    grid: usize,
+    refinements: usize,
+) -> Result<SweepPoint> {
+    if !(credible > 0.0 && credible < 1.0) {
+        return Err(PerfError::InvalidParameter {
+            name: "credible",
+            value: credible,
+            expected: "within (0, 1)",
+        });
+    }
+    let mu = posterior.quantile(credible).max(1e-300);
+    GsuAnalysis::new(params.with_mu_new(mu)?)?.optimal_phi(grid, refinements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, fact) in [(1u32, 1.0f64), (2, 1.0), (3, 2.0), (5, 24.0), (10, 362_880.0)] {
+            assert!(
+                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
+                "Γ({n}) should be {fact}"
+            );
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reg_gamma_is_exponential_cdf_for_shape_one() {
+        for x in [0.0, 0.1, 1.0, 5.0] {
+            let want = 1.0 - (-x as f64).exp();
+            assert!((reg_gamma_lower(1.0, x) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reg_gamma_is_erlang_cdf_for_integer_shape() {
+        // P(3, x) = 1 − e^{−x}(1 + x + x²/2).
+        for x in [0.5, 2.0, 8.0] {
+            let want = 1.0 - (-x as f64).exp() * (1.0 + x + x * x / 2.0);
+            assert!(
+                (reg_gamma_lower(3.0, x) - want).abs() < 1e-11,
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjugate_update_moves_the_mean() {
+        let prior = FaultRatePosterior::weakly_informative(1e-3).unwrap();
+        assert!((prior.mean() - 1e-3).abs() < 1e-15);
+        // 2 faults in 10_000 h: posterior mean ≈ 3 / 11_000.
+        let post = prior.observe(2, 10_000.0).unwrap();
+        assert!((post.mean() - 3.0 / 11_000.0).abs() < 1e-12);
+        assert!(post.variance() < prior.variance());
+    }
+
+    #[test]
+    fn quantiles_bracket_the_mean() {
+        let post = FaultRatePosterior {
+            shape: 4.0,
+            rate: 20_000.0,
+        };
+        let q10 = post.quantile(0.1);
+        let q90 = post.quantile(0.9);
+        assert!(q10 < post.mean());
+        assert!(post.mean() < q90);
+        assert!((post.probability_below(q10) - 0.1).abs() < 1e-9);
+        assert!((post.probability_below(q90) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopping_rule_satisfaction() {
+        let rule = StoppingRule::new(1e-4, 0.9).unwrap();
+        // Long fault-free exposure: 1 pseudo-fault over 50_000 h; P[µ ≤
+        // 1e-4] = 1 − e^{−5} ≈ 0.993.
+        let good = FaultRatePosterior {
+            shape: 1.0,
+            rate: 50_000.0,
+        };
+        assert!(rule.satisfied(&good));
+        // Short exposure: not yet.
+        let short = FaultRatePosterior {
+            shape: 1.0,
+            rate: 5_000.0,
+        };
+        assert!(!rule.satisfied(&short));
+        let extra = rule.required_fault_free_exposure(&short).unwrap();
+        assert!(extra > 0.0);
+        let after = FaultRatePosterior {
+            shape: 1.0,
+            rate: 5_000.0 + extra,
+        };
+        assert!(rule.satisfied(&after));
+        // And the exposure found is minimal up to tolerance.
+        let before = FaultRatePosterior {
+            shape: 1.0,
+            rate: 5_000.0 + extra * 0.99,
+        };
+        assert!(!rule.satisfied(&before));
+    }
+
+    #[test]
+    fn stopping_rule_validation() {
+        assert!(StoppingRule::new(0.0, 0.9).is_err());
+        assert!(StoppingRule::new(1e-4, 1.0).is_err());
+        assert!(StoppingRule::new(1e-4, 0.0).is_err());
+    }
+
+    #[test]
+    fn predictive_y_close_to_plugin_for_tight_posterior() {
+        // A very peaked posterior behaves like the point estimate.
+        let params = GsuParams::paper_baseline();
+        let post = FaultRatePosterior {
+            shape: 1e6,
+            rate: 1e6 / 1e-4,
+        };
+        let predictive = posterior_predictive_y(&post, params, 6000.0, 4).unwrap();
+        let plugin = GsuAnalysis::new(params).unwrap().evaluate(6000.0).unwrap().y;
+        assert!(
+            (predictive - plugin).abs() < 0.01,
+            "{predictive} vs {plugin}"
+        );
+    }
+
+    #[test]
+    fn robust_phi_designs_for_worse_rate() {
+        // Wide posterior around 1e-4: the 90th-percentile rate exceeds the
+        // mean, and a larger µ pushes the optimal guard later (Fig. 9).
+        let params = GsuParams::paper_baseline();
+        let post = FaultRatePosterior {
+            shape: 2.0,
+            rate: 2.0 / 1e-4,
+        };
+        let robust = robust_optimal_phi(&post, params, 0.9, 10, 8).unwrap();
+        let nominal = GsuAnalysis::new(params.with_mu_new(post.mean()).unwrap())
+            .unwrap()
+            .optimal_phi(10, 8)
+            .unwrap();
+        assert!(
+            robust.phi >= nominal.phi - 500.0,
+            "robust {} vs nominal {}",
+            robust.phi,
+            nominal.phi
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let post = FaultRatePosterior {
+            shape: 1.0,
+            rate: 1.0,
+        };
+        assert!(FaultRatePosterior::weakly_informative(0.0).is_err());
+        assert!(post.observe(0, -1.0).is_err());
+        assert!(
+            posterior_predictive_y(&post, GsuParams::paper_baseline(), 1000.0, 0).is_err()
+        );
+        assert!(
+            robust_optimal_phi(&post, GsuParams::paper_baseline(), 1.5, 4, 2).is_err()
+        );
+    }
+}

@@ -1,0 +1,116 @@
+use std::fmt;
+
+use sparsela::LinAlgError;
+
+/// Errors produced by the Markov model layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// The supplied data does not describe a valid chain (negative rates,
+    /// out-of-range states, non-stochastic rows, …).
+    InvalidModel {
+        /// Description of the violation.
+        context: String,
+    },
+    /// The supplied vector is not a probability distribution over the chain's
+    /// state space.
+    InvalidDistribution {
+        /// Description of the violation.
+        context: String,
+    },
+    /// The requested analysis needs an irreducible chain but the chain is
+    /// reducible.
+    Reducible {
+        /// Number of strongly connected components found.
+        components: usize,
+    },
+    /// The requested analysis needs absorbing states but none exist (or vice
+    /// versa).
+    AbsorptionStructure {
+        /// Description of the structural mismatch.
+        context: String,
+    },
+    /// The problem exceeds a configured resource limit (e.g. dense-solver
+    /// state-count cap, uniformization step budget).
+    LimitExceeded {
+        /// Description of the limit and the offending size.
+        context: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    LinAlg(LinAlgError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::InvalidModel { context } => {
+                write!(f, "invalid Markov model: {context}")
+            }
+            MarkovError::InvalidDistribution { context } => {
+                write!(f, "invalid probability distribution: {context}")
+            }
+            MarkovError::Reducible { components } => write!(
+                f,
+                "chain is reducible ({components} strongly connected components)"
+            ),
+            MarkovError::AbsorptionStructure { context } => {
+                write!(f, "absorption structure mismatch: {context}")
+            }
+            MarkovError::LimitExceeded { context } => {
+                write!(f, "resource limit exceeded: {context}")
+            }
+            MarkovError::LinAlg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::LinAlg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinAlgError> for MarkovError {
+    fn from(e: LinAlgError) -> Self {
+        MarkovError::LinAlg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<MarkovError> = vec![
+            MarkovError::InvalidModel {
+                context: "negative rate".into(),
+            },
+            MarkovError::InvalidDistribution {
+                context: "sums to 2".into(),
+            },
+            MarkovError::Reducible { components: 3 },
+            MarkovError::AbsorptionStructure {
+                context: "no absorbing states".into(),
+            },
+            MarkovError::LimitExceeded {
+                context: "10^9 uniformization steps".into(),
+            },
+            MarkovError::LinAlg(LinAlgError::Singular { pivot: 0 }),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_linalg() {
+        use std::error::Error;
+        let e = MarkovError::LinAlg(LinAlgError::Singular { pivot: 1 });
+        assert!(e.source().is_some());
+        let e2 = MarkovError::Reducible { components: 2 };
+        assert!(e2.source().is_none());
+    }
+}

@@ -1,0 +1,325 @@
+//! Trajectory simulation of raw CTMCs.
+//!
+//! A third, fully independent way to evaluate reward variables (next to
+//! uniformization and the matrix exponential): walk the embedded jump chain
+//! with exponential holding times and accumulate rewards along the path.
+//! Used by the test suites as an oracle-of-last-resort and by users whose
+//! chains come from outside the SAN layer.
+//!
+//! The module is dependency-free (SplitMix64 generator) like the rest of
+//! the crate.
+
+use crate::reward::RewardStructure;
+use crate::{Ctmc, MarkovError, Result};
+
+/// Deterministic pseudo-random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct ChainRng {
+    state: u64,
+}
+
+impl ChainRng {
+    /// Creates a generator from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        ChainRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn exp(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    fn categorical(&mut self, weights: &[(usize, f64)], total: f64) -> usize {
+        let u = self.uniform() * total;
+        let mut acc = 0.0;
+        for &(state, w) in weights {
+            acc += w;
+            if u < acc {
+                return state;
+            }
+        }
+        weights.last().map(|&(s, _)| s).unwrap_or(0)
+    }
+}
+
+/// One simulated path's outcome against a reward structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathOutcome {
+    /// State occupied at the horizon.
+    pub final_state: usize,
+    /// Accumulated reward (rate + impulse) over `[0, horizon]`.
+    pub accumulated_reward: f64,
+    /// Rate reward of the final state.
+    pub final_rate: f64,
+    /// Number of jumps taken.
+    pub jumps: usize,
+}
+
+/// Simulates one path of `ctmc` from an initial state drawn from `pi0`,
+/// accumulating `reward` (including impulse rewards at jumps).
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidDistribution`] / [`MarkovError::InvalidModel`] on
+///   malformed inputs.
+/// * [`MarkovError::LimitExceeded`] when more than `max_jumps` transitions
+///   occur (stiff-chain guard).
+pub fn simulate_path(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    reward: &RewardStructure,
+    horizon: f64,
+    max_jumps: usize,
+    rng: &mut ChainRng,
+) -> Result<PathOutcome> {
+    ctmc.check_distribution(pi0)?;
+    if !(horizon >= 0.0) || !horizon.is_finite() {
+        return Err(MarkovError::InvalidModel {
+            context: format!("horizon must be finite and >= 0, got {horizon}"),
+        });
+    }
+    if reward.n_states() != ctmc.n_states() {
+        return Err(MarkovError::InvalidModel {
+            context: format!(
+                "reward over {} states applied to chain with {}",
+                reward.n_states(),
+                ctmc.n_states()
+            ),
+        });
+    }
+
+    // Draw the initial state.
+    let mut state = {
+        let weights: Vec<(usize, f64)> = pi0
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(s, &p)| (s, p))
+            .collect();
+        rng.categorical(&weights, pi0.iter().sum())
+    };
+
+    let mut t = 0.0;
+    let mut accumulated = 0.0;
+    let mut jumps = 0usize;
+    loop {
+        let exit = ctmc.exit_rate(state);
+        let dwell = rng.exp(exit);
+        let rate = reward.rates()[state];
+        if t + dwell >= horizon || exit == 0.0 {
+            accumulated += rate * (horizon - t);
+            return Ok(PathOutcome {
+                final_state: state,
+                accumulated_reward: accumulated,
+                final_rate: rate,
+                jumps,
+            });
+        }
+        accumulated += rate * dwell;
+        t += dwell;
+        jumps += 1;
+        if jumps > max_jumps {
+            return Err(MarkovError::LimitExceeded {
+                context: format!("simulation exceeded {max_jumps} jumps"),
+            });
+        }
+        // Choose the successor via the jump chain.
+        let outgoing: Vec<(usize, f64)> = ctmc
+            .generator()
+            .row(state)
+            .filter(|&(c, v)| c != state && v > 0.0)
+            .collect();
+        let next = rng.categorical(&outgoing, exit);
+        accumulated += impulse_of(reward, state, next);
+        state = next;
+    }
+}
+
+fn impulse_of(reward: &RewardStructure, from: usize, to: usize) -> f64 {
+    reward.impulse(from, to)
+}
+
+/// Empirical distribution of the accumulated reward over `[0, horizon]` —
+/// Meyer's performability distribution, by simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumulatedRewardDistribution {
+    samples: Vec<f64>,
+}
+
+impl AccumulatedRewardDistribution {
+    /// Collects `replications` independent paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates path failures.
+    pub fn collect(
+        ctmc: &Ctmc,
+        pi0: &[f64],
+        reward: &RewardStructure,
+        horizon: f64,
+        replications: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let n = replications.max(1);
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = ChainRng::from_seed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let out = simulate_path(ctmc, pi0, reward, horizon, 100_000_000, &mut rng)?;
+            samples.push(out.accumulated_reward);
+        }
+        samples.sort_by(f64::total_cmp);
+        Ok(AccumulatedRewardDistribution { samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when empty (cannot happen via [`Self::collect`]).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Empirical CDF `P[AR(t) ≤ x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.samples.partition_point(|&s| s <= x) as f64 / self.samples.len() as f64
+    }
+
+    /// Sample mean (→ the expected accumulated reward).
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Nearest-rank quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level in [0, 1]");
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::{self, Options};
+
+    fn two_state() -> Ctmc {
+        Ctmc::from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = two_state();
+        let r = RewardStructure::from_rates(vec![1.0, 0.0]);
+        let mut a = ChainRng::from_seed(5);
+        let mut b = ChainRng::from_seed(5);
+        let pa = simulate_path(&c, &[1.0, 0.0], &r, 10.0, 1_000_000, &mut a).unwrap();
+        let pb = simulate_path(&c, &[1.0, 0.0], &r, 10.0, 1_000_000, &mut b).unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn mean_accumulated_matches_analytic() {
+        let c = two_state();
+        let r = RewardStructure::from_rates(vec![1.0, 0.0]);
+        let t = 5.0;
+        let l = transient::occupancy(&c, &[1.0, 0.0], t, &Options::default()).unwrap();
+        let analytic = r.accumulated(&c, &l).unwrap();
+        let d =
+            AccumulatedRewardDistribution::collect(&c, &[1.0, 0.0], &r, t, 4000, 11).unwrap();
+        assert!(
+            (d.mean() - analytic).abs() < 0.06,
+            "simulated {} vs analytic {analytic}",
+            d.mean()
+        );
+        assert_eq!(d.len(), 4000);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn impulse_rewards_counted_at_jumps() {
+        // Pure death with impulse 1 on the single transition: accumulated
+        // impulse is exactly 1 on every path that jumps, and the jump
+        // happens with probability 1 − e^{−µt}.
+        let mu = 0.5;
+        let c = Ctmc::from_transitions(2, [(0, 1, mu)]).unwrap();
+        let r = RewardStructure::from_rates(vec![0.0, 0.0]).with_impulse(0, 1, 1.0);
+        let t = 2.0;
+        let n = 4000;
+        let d = AccumulatedRewardDistribution::collect(&c, &[1.0, 0.0], &r, t, n, 3).unwrap();
+        let want = 1.0 - (-mu * t as f64).exp();
+        assert!((d.mean() - want).abs() < 0.03, "{} vs {want}", d.mean());
+        // Each sample is exactly 0 or 1.
+        assert!(d.cdf(0.5) > 0.0);
+        assert!((d.cdf(0.5) - (1.0 - want)).abs() < 0.03);
+    }
+
+    #[test]
+    fn absorbing_state_coasts_to_horizon() {
+        let c = Ctmc::from_transitions(2, [(0, 1, 100.0)]).unwrap();
+        let r = RewardStructure::from_rates(vec![0.0, 2.0]);
+        let mut rng = ChainRng::from_seed(1);
+        let out = simulate_path(&c, &[1.0, 0.0], &r, 10.0, 1_000_000, &mut rng).unwrap();
+        assert_eq!(out.final_state, 1);
+        assert_eq!(out.jumps, 1);
+        assert!(out.accumulated_reward > 19.0 && out.accumulated_reward < 20.0);
+        assert_eq!(out.final_rate, 2.0);
+    }
+
+    #[test]
+    fn jump_budget_enforced() {
+        let c = two_state();
+        let r = RewardStructure::from_rates(vec![0.0, 0.0]);
+        let mut rng = ChainRng::from_seed(1);
+        assert!(matches!(
+            simulate_path(&c, &[1.0, 0.0], &r, 1e9, 10, &mut rng),
+            Err(MarkovError::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn cdf_and_quantiles_consistent() {
+        let c = two_state();
+        let r = RewardStructure::from_rates(vec![1.0, 0.0]);
+        let d =
+            AccumulatedRewardDistribution::collect(&c, &[0.5, 0.5], &r, 3.0, 1000, 7).unwrap();
+        let med = d.quantile(0.5);
+        assert!(d.cdf(med) >= 0.5);
+        assert!(d.quantile(0.0) <= d.quantile(1.0));
+        assert!(d.quantile(1.0) <= 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let c = two_state();
+        let r = RewardStructure::from_rates(vec![1.0, 0.0]);
+        let mut rng = ChainRng::from_seed(1);
+        assert!(simulate_path(&c, &[0.5, 0.6], &r, 1.0, 10, &mut rng).is_err());
+        assert!(simulate_path(&c, &[1.0, 0.0], &r, -1.0, 10, &mut rng).is_err());
+        let bad = RewardStructure::from_rates(vec![1.0]);
+        assert!(simulate_path(&c, &[1.0, 0.0], &bad, 1.0, 10, &mut rng).is_err());
+    }
+}

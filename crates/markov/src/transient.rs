@@ -1,0 +1,552 @@
+//! Transient solution of CTMCs: the distribution `π(t)` and the accumulated
+//! occupancy `L(t) = ∫₀ᵗ π(s) ds`.
+//!
+//! Two engines are provided and selected automatically:
+//!
+//! * **Uniformization** with Fox–Glynn Poisson windows — exact up to
+//!   truncation, cost `O(Λt · nnz)`. Preferred when `Λt` is moderate.
+//! * **Dense matrix exponential** (scaling and squaring) — cost
+//!   `O(n³ · log(Λt))`, immune to stiffness. Preferred for the
+//!   guarded-operation models where `Λt ~ 10⁷`.
+//!
+//! The `Auto` method picks uniformization when the expected step count fits
+//! the budget, otherwise the matrix exponential (subject to the dense state
+//! limit).
+
+use sparsela::vector;
+
+use crate::expm;
+use crate::fox_glynn::PoissonWindow;
+use crate::{Ctmc, MarkovError, Result};
+
+/// Engine used for transient solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Choose uniformization when `Λt` is small enough, otherwise the dense
+    /// matrix exponential.
+    #[default]
+    Auto,
+    /// Force uniformization (errors out when the step budget is exceeded).
+    Uniformization,
+    /// Force the dense matrix exponential (errors out above the dense state
+    /// limit).
+    MatrixExponential,
+}
+
+/// Options for the transient solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Engine selection.
+    pub method: Method,
+    /// Per-tail truncation error for the Poisson window.
+    pub epsilon: f64,
+    /// Maximum number of uniformization steps (`≈ Λt` plus window width)
+    /// before `Auto` switches to the matrix exponential.
+    pub max_uniformization_steps: usize,
+    /// Maximum state count for the dense matrix exponential.
+    pub dense_state_limit: usize,
+    /// When `true`, uniformization stops early once the uniformized DTMC
+    /// iterates stop changing (steady-state detection).
+    pub steady_state_detection: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            method: Method::Auto,
+            epsilon: 1e-12,
+            max_uniformization_steps: 2_000_000,
+            dense_state_limit: 1500,
+            steady_state_detection: true,
+        }
+    }
+}
+
+/// Computes the state distribution `π(t)` from the initial distribution
+/// `pi0`.
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidDistribution`] when `pi0` is not a distribution
+///   over the chain's states.
+/// * [`MarkovError::InvalidModel`] when `t` is negative or non-finite.
+/// * [`MarkovError::LimitExceeded`] when the selected engine exceeds its
+///   budget.
+pub fn distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    ctmc.check_distribution(pi0)?;
+    check_time(t)?;
+    if t == 0.0 || ctmc.max_exit_rate() == 0.0 {
+        return Ok(pi0.to_vec());
+    }
+    match select_method(ctmc, t, opts)? {
+        Method::Uniformization => uniformized_distribution(ctmc, pi0, t, opts),
+        Method::MatrixExponential => expm_distribution(ctmc, pi0, t, opts),
+        Method::Auto => unreachable!("select_method resolves Auto"),
+    }
+}
+
+/// Computes the accumulated occupancy `L(t) = ∫₀ᵗ π(s) ds`.
+///
+/// `L(t)[s]` is the expected total time spent in state `s` during `[0, t]`;
+/// `Σ_s L(t)[s] = t`.
+///
+/// # Errors
+///
+/// Same failure modes as [`distribution`].
+pub fn occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    ctmc.check_distribution(pi0)?;
+    check_time(t)?;
+    if t == 0.0 {
+        return Ok(vec![0.0; ctmc.n_states()]);
+    }
+    if ctmc.max_exit_rate() == 0.0 {
+        return Ok(pi0.iter().map(|p| p * t).collect());
+    }
+    match select_method(ctmc, t, opts)? {
+        Method::Uniformization => uniformized_occupancy(ctmc, pi0, t, opts),
+        Method::MatrixExponential => expm_occupancy(ctmc, pi0, t, opts),
+        Method::Auto => unreachable!("select_method resolves Auto"),
+    }
+}
+
+/// Computes the state distribution at each of several **ascending** time
+/// points in one pass, propagating incrementally from point to point
+/// (`π(t_{k+1})` is solved from `π(t_k)` over the gap). For `m` points this
+/// costs `m` short solves instead of `m` solves from zero — the natural way
+/// to evaluate a φ-sweep.
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidModel`] when the time points are not finite,
+///   non-negative, and ascending.
+/// * Propagates per-interval solver failures.
+pub fn distribution_at_times(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    times: &[f64],
+    opts: &Options,
+) -> Result<Vec<Vec<f64>>> {
+    ctmc.check_distribution(pi0)?;
+    let mut last_t = 0.0;
+    for &t in times {
+        check_time(t)?;
+        if t < last_t {
+            return Err(MarkovError::InvalidModel {
+                context: format!("time points must be ascending: {t} after {last_t}"),
+            });
+        }
+        last_t = t;
+    }
+    let mut out = Vec::with_capacity(times.len());
+    let mut current = pi0.to_vec();
+    let mut current_t = 0.0;
+    for &t in times {
+        let gap = t - current_t;
+        if gap > 0.0 {
+            current = distribution(ctmc, &current, gap, opts)?;
+            current_t = t;
+        }
+        out.push(current.clone());
+    }
+    Ok(out)
+}
+
+fn check_time(t: f64) -> Result<()> {
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MarkovError::InvalidModel {
+            context: format!("time horizon must be finite and >= 0, got {t}"),
+        });
+    }
+    Ok(())
+}
+
+/// Resolves `Auto` into a concrete engine, validating budgets.
+fn select_method(ctmc: &Ctmc, t: f64, opts: &Options) -> Result<Method> {
+    let lambda = uniformization_rate(ctmc);
+    let expected_steps = lambda * t;
+    let uniform_ok = expected_steps.is_finite()
+        && expected_steps + 10.0 * expected_steps.sqrt() + 50.0
+            <= opts.max_uniformization_steps as f64;
+    let dense_ok = ctmc.n_states() <= opts.dense_state_limit;
+    match opts.method {
+        Method::Uniformization => {
+            if uniform_ok {
+                Ok(Method::Uniformization)
+            } else {
+                Err(MarkovError::LimitExceeded {
+                    context: format!(
+                        "uniformization needs ~{expected_steps:.3e} steps, budget is {}",
+                        opts.max_uniformization_steps
+                    ),
+                })
+            }
+        }
+        Method::MatrixExponential => {
+            if dense_ok {
+                Ok(Method::MatrixExponential)
+            } else {
+                Err(MarkovError::LimitExceeded {
+                    context: format!(
+                        "matrix exponential limited to {} states, model has {}",
+                        opts.dense_state_limit,
+                        ctmc.n_states()
+                    ),
+                })
+            }
+        }
+        Method::Auto => {
+            if uniform_ok {
+                Ok(Method::Uniformization)
+            } else if dense_ok {
+                Ok(Method::MatrixExponential)
+            } else {
+                Err(MarkovError::LimitExceeded {
+                    context: format!(
+                        "no transient engine fits: ~{expected_steps:.3e} uniformization steps \
+                         (budget {}) and {} states (dense limit {})",
+                        opts.max_uniformization_steps,
+                        ctmc.n_states(),
+                        opts.dense_state_limit
+                    ),
+                })
+            }
+        }
+    }
+}
+
+fn uniformization_rate(ctmc: &Ctmc) -> f64 {
+    // Slight inflation guarantees aperiodicity of the uniformized chain and
+    // tolerates rounding in the max exit rate.
+    ctmc.max_exit_rate() * 1.02
+}
+
+fn uniformized_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    let lambda = uniformization_rate(ctmc);
+    let p = ctmc.uniformized(lambda)?;
+    let window = PoissonWindow::compute(lambda * t, opts.epsilon)?;
+
+    let n = ctmc.n_states();
+    let mut cur = pi0.to_vec();
+    let mut next = vec![0.0; n];
+    let mut out = vec![0.0; n];
+
+    let sse_tol = opts.epsilon.max(1e-15);
+    for k in 0..=window.right {
+        if k >= window.left {
+            vector::axpy(window.weight(k), &cur, &mut out);
+        }
+        if k < window.right {
+            p.step_into(&cur, &mut next);
+            if opts.steady_state_detection && vector::diff_norm_inf(&cur, &next) < sse_tol {
+                // The DTMC has converged: all remaining Poisson mass sees the
+                // same vector.
+                let remaining: f64 = ((k + 1).max(window.left)..=window.right)
+                    .map(|j| window.weight(j))
+                    .sum();
+                vector::axpy(remaining, &next, &mut out);
+                vector::normalize_l1(&mut out);
+                return Ok(out);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+    }
+    vector::normalize_l1(&mut out);
+    Ok(out)
+}
+
+fn uniformized_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    // L(t) = (1/Λ) Σ_{k≥0} P[N > k] · π P^k  with N ~ Poisson(Λt).
+    let lambda = uniformization_rate(ctmc);
+    let p = ctmc.uniformized(lambda)?;
+    let window = PoissonWindow::compute(lambda * t, opts.epsilon)?;
+    let tails = window.right_tails();
+
+    let n = ctmc.n_states();
+    let mut cur = pi0.to_vec();
+    let mut next = vec![0.0; n];
+    let mut acc = vec![0.0; n];
+
+    let sse_tol = opts.epsilon.max(1e-15);
+    for k in 0..=window.right {
+        // P[N > k]: 1 below the window, the right-tail inside it.
+        let tail = if k < window.left {
+            1.0
+        } else {
+            tails[k - window.left]
+        };
+        if tail > 0.0 {
+            vector::axpy(tail, &cur, &mut acc);
+        }
+        if k < window.right {
+            p.step_into(&cur, &mut next);
+            if opts.steady_state_detection && vector::diff_norm_inf(&cur, &next) < sse_tol {
+                // Remaining contributions all use (approximately) the same
+                // vector: Σ_{j>k} P[N > j] = E[(N − k − 1)⁺].
+                let mut remaining = 0.0;
+                for j in (k + 1)..=window.right {
+                    remaining += if j < window.left {
+                        1.0
+                    } else {
+                        tails[j - window.left]
+                    };
+                }
+                vector::axpy(remaining, &next, &mut acc);
+                vector::scale(1.0 / lambda, &mut acc);
+                return Ok(acc);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+    }
+    vector::scale(1.0 / lambda, &mut acc);
+    Ok(acc)
+}
+
+fn expm_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    let q = ctmc
+        .generator()
+        .to_dense_checked(opts.dense_state_limit * opts.dense_state_limit)
+        .map_err(MarkovError::from)?;
+    let mut qt = q;
+    qt.scale(t);
+    let e = expm::expm(&qt)?;
+    let mut pi = e.vec_mul(pi0);
+    clamp_probabilities(&mut pi);
+    Ok(pi)
+}
+
+fn expm_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    let q = ctmc
+        .generator()
+        .to_dense_checked(opts.dense_state_limit * opts.dense_state_limit)
+        .map_err(MarkovError::from)?;
+    let (_, integral) = expm::expm_with_integral_scaled(&q, t)?;
+    let mut occupancy = integral.vec_mul(pi0);
+    for o in &mut occupancy {
+        if *o < 0.0 && *o > -1e-9 {
+            *o = 0.0;
+        }
+    }
+    Ok(occupancy)
+}
+
+fn clamp_probabilities(pi: &mut [f64]) {
+    for p in pi.iter_mut() {
+        if *p < 0.0 && *p > -1e-9 {
+            *p = 0.0;
+        }
+    }
+    vector::normalize_l1(pi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Ctmc {
+        // 0 -> 1 at rate a, 1 -> 0 at rate b.
+        Ctmc::from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)]).unwrap()
+    }
+
+    /// Closed form for the two-state chain starting in state 0:
+    /// p0(t) = b/(a+b) + a/(a+b)·exp(−(a+b)t).
+    fn two_state_p0(t: f64) -> f64 {
+        let (a, b) = (2.0, 3.0);
+        b / (a + b) + a / (a + b) * (-(a + b) * t).exp()
+    }
+
+    #[test]
+    fn matches_closed_form_uniformization() {
+        let c = two_state();
+        let mut opts = Options::default();
+        opts.method = Method::Uniformization;
+        for &t in &[0.01, 0.1, 0.5, 1.0, 5.0] {
+            let pi = distribution(&c, &[1.0, 0.0], t, &opts).unwrap();
+            assert!(
+                (pi[0] - two_state_p0(t)).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                pi[0],
+                two_state_p0(t)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_closed_form_expm() {
+        let c = two_state();
+        let mut opts = Options::default();
+        opts.method = Method::MatrixExponential;
+        for &t in &[0.01, 0.5, 5.0] {
+            let pi = distribution(&c, &[1.0, 0.0], t, &opts).unwrap();
+            assert!((pi[0] - two_state_p0(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_erlang_chain() {
+        // 5-stage Erlang: absorbing chain, P[absorbed by t] = Erlang CDF.
+        let n = 6;
+        let rate = 1.7;
+        let trans: Vec<_> = (0..5).map(|i| (i, i + 1, rate)).collect();
+        let c = Ctmc::from_transitions(n, trans).unwrap();
+        let pi0 = c.point_distribution(0);
+        let t = 3.0;
+
+        let mut uopts = Options::default();
+        uopts.method = Method::Uniformization;
+        let mut eopts = Options::default();
+        eopts.method = Method::MatrixExponential;
+
+        let pu = distribution(&c, &pi0, t, &uopts).unwrap();
+        let pe = distribution(&c, &pi0, t, &eopts).unwrap();
+        for (a, b) in pu.iter().zip(&pe) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Erlang(5, rate) CDF at t.
+        let x = rate * t;
+        let mut cdf = 1.0;
+        let mut term = 1.0;
+        for k in 1..5 {
+            term *= x / k as f64;
+            cdf += term;
+        }
+        let cdf = 1.0 - cdf * (-x).exp();
+        assert!((pu[5] - cdf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_sums_to_t() {
+        let c = two_state();
+        for &t in &[0.5, 2.0, 10.0] {
+            let l = occupancy(&c, &[1.0, 0.0], t, &Options::default()).unwrap();
+            assert!((l.iter().sum::<f64>() - t).abs() < 1e-8, "t={t}");
+        }
+    }
+
+    #[test]
+    fn occupancy_matches_closed_form() {
+        // ∫₀ᵗ p0(s) ds for the two-state chain.
+        let c = two_state();
+        let (a, b): (f64, f64) = (2.0, 3.0);
+        let t = 1.25;
+        let want = b / (a + b) * t + a / (a + b) / (a + b) * (1.0 - (-(a + b) * t).exp());
+        let mut uopts = Options::default();
+        uopts.method = Method::Uniformization;
+        let mut eopts = Options::default();
+        eopts.method = Method::MatrixExponential;
+        let lu = occupancy(&c, &[1.0, 0.0], t, &uopts).unwrap();
+        let le = occupancy(&c, &[1.0, 0.0], t, &eopts).unwrap();
+        assert!((lu[0] - want).abs() < 1e-8, "uniformization: {} vs {want}", lu[0]);
+        assert!((le[0] - want).abs() < 1e-8, "expm: {} vs {want}", le[0]);
+    }
+
+    #[test]
+    fn auto_switches_to_expm_when_stiff() {
+        // Λt = 5000·1e4 = 5e7 > default budget: Auto must still succeed.
+        let c = Ctmc::from_transitions(2, [(0, 1, 5000.0), (1, 0, 1000.0)]).unwrap();
+        let pi = distribution(&c, &[1.0, 0.0], 10_000.0, &Options::default()).unwrap();
+        assert!((pi[0] - 1.0 / 6.0).abs() < 1e-6);
+        let mut forced = Options::default();
+        forced.method = Method::Uniformization;
+        assert!(matches!(
+            distribution(&c, &[1.0, 0.0], 10_000.0, &forced),
+            Err(MarkovError::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn stiff_occupancy_is_consistent() {
+        let c = Ctmc::from_transitions(2, [(0, 1, 5000.0), (1, 0, 1000.0)]).unwrap();
+        let t = 10_000.0;
+        let l = occupancy(&c, &[1.0, 0.0], t, &Options::default()).unwrap();
+        // ~24 squarings of the augmented block matrix leave ~1e-9 relative
+        // error; that is far below what the performability measures need.
+        assert!((l.iter().sum::<f64>() - t).abs() < t * 1e-7);
+        // Long-run fractions 1/6, 5/6.
+        assert!((l[0] / t - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn t_zero_is_initial_distribution() {
+        let c = two_state();
+        let pi = distribution(&c, &[0.3, 0.7], 0.0, &Options::default()).unwrap();
+        assert_eq!(pi, vec![0.3, 0.7]);
+        let l = occupancy(&c, &[0.3, 0.7], 0.0, &Options::default()).unwrap();
+        assert_eq!(l, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_absorbing_chain() {
+        let c = Ctmc::from_transitions(2, std::iter::empty()).unwrap();
+        let pi = distribution(&c, &[0.4, 0.6], 7.0, &Options::default()).unwrap();
+        assert_eq!(pi, vec![0.4, 0.6]);
+        let l = occupancy(&c, &[0.4, 0.6], 5.0, &Options::default()).unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let c = two_state();
+        assert!(distribution(&c, &[0.5, 0.6], 1.0, &Options::default()).is_err());
+        assert!(distribution(&c, &[1.0, 0.0], -1.0, &Options::default()).is_err());
+        assert!(distribution(&c, &[1.0, 0.0], f64::NAN, &Options::default()).is_err());
+    }
+
+    #[test]
+    fn steady_state_detection_matches_exact() {
+        let c = two_state();
+        let mut with_sse = Options::default();
+        with_sse.method = Method::Uniformization;
+        with_sse.steady_state_detection = true;
+        let mut without = with_sse.clone();
+        without.steady_state_detection = false;
+        let t = 50.0; // far past mixing
+        let a = distribution(&c, &[1.0, 0.0], t, &with_sse).unwrap();
+        let b = distribution(&c, &[1.0, 0.0], t, &without).unwrap();
+        assert!(sparsela::vector::diff_norm_inf(&a, &b) < 1e-9);
+        // And both equal the steady state 3/5, 2/5.
+        assert!((a[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_times_matches_independent_solves() {
+        let c = two_state();
+        let times = [0.0, 0.2, 0.2, 1.0, 4.0];
+        let batch =
+            distribution_at_times(&c, &[1.0, 0.0], &times, &Options::default()).unwrap();
+        assert_eq!(batch.len(), times.len());
+        for (&t, pi) in times.iter().zip(&batch) {
+            let solo = distribution(&c, &[1.0, 0.0], t, &Options::default()).unwrap();
+            assert!(
+                sparsela::vector::diff_norm_inf(pi, &solo) < 1e-9,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_times_rejects_unsorted() {
+        let c = two_state();
+        assert!(matches!(
+            distribution_at_times(&c, &[1.0, 0.0], &[1.0, 0.5], &Options::default()),
+            Err(MarkovError::InvalidModel { .. })
+        ));
+        assert!(
+            distribution_at_times(&c, &[1.0, 0.0], &[], &Options::default())
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn absorbing_probability_is_monotone() {
+        let c = Ctmc::from_transitions(2, [(0, 1, 0.3)]).unwrap();
+        let mut last = 0.0;
+        for &t in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+            let pi = distribution(&c, &[1.0, 0.0], t, &Options::default()).unwrap();
+            assert!(pi[1] >= last);
+            assert!((pi[1] - (1.0 - (-0.3 * t).exp())).abs() < 1e-9);
+            last = pi[1];
+        }
+    }
+}

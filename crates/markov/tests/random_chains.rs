@@ -1,0 +1,104 @@
+//! Property tests on randomly generated chains: the different solution
+//! engines must agree with each other and with structural invariants.
+
+use markov::steady::{steady_state, SteadyMethod};
+use markov::transient::{self, Method, Options};
+use markov::Ctmc;
+use proptest::prelude::*;
+
+/// A random dense-ish CTMC over `n` states with rates in (0, scale].
+fn arb_ctmc(n: usize, scale: f64) -> impl Strategy<Value = Ctmc> {
+    proptest::collection::vec(0.0..1.0f64, n * n).prop_map(move |raw| {
+        let mut transitions = Vec::new();
+        for (k, v) in raw.iter().enumerate() {
+            let (i, j) = (k / n, k % n);
+            if i != j && *v > 0.3 {
+                transitions.push((i, j, *v * scale));
+            }
+        }
+        // Guarantee irreducibility with a base cycle.
+        for i in 0..n {
+            transitions.push((i, (i + 1) % n, 0.05 * scale));
+        }
+        Ctmc::from_transitions(n, transitions).expect("valid random chain")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn transient_engines_agree(chain in arb_ctmc(5, 3.0), t in 0.01..20.0f64) {
+        let pi0 = chain.point_distribution(0);
+        let mut uni = Options::default();
+        uni.method = Method::Uniformization;
+        uni.max_uniformization_steps = 50_000_000;
+        uni.steady_state_detection = false;
+        let mut exp = Options::default();
+        exp.method = Method::MatrixExponential;
+
+        let a = transient::distribution(&chain, &pi0, t, &uni).unwrap();
+        let b = transient::distribution(&chain, &pi0, t, &exp).unwrap();
+        prop_assert!(sparsela::vector::diff_norm_inf(&a, &b) < 1e-8,
+            "uniformization vs expm at t={t}");
+        prop_assert!(sparsela::vector::is_stochastic(&a, 1e-9));
+        prop_assert!(sparsela::vector::is_stochastic(&b, 1e-7));
+    }
+
+    #[test]
+    fn occupancy_engines_agree_and_sum_to_t(
+        chain in arb_ctmc(4, 2.0),
+        t in 0.1..10.0f64,
+    ) {
+        let pi0 = chain.point_distribution(0);
+        let mut uni = Options::default();
+        uni.method = Method::Uniformization;
+        uni.max_uniformization_steps = 50_000_000;
+        uni.steady_state_detection = false;
+        let mut exp = Options::default();
+        exp.method = Method::MatrixExponential;
+
+        let a = transient::occupancy(&chain, &pi0, t, &uni).unwrap();
+        let b = transient::occupancy(&chain, &pi0, t, &exp).unwrap();
+        prop_assert!(sparsela::vector::diff_norm_inf(&a, &b) < 1e-7);
+        prop_assert!((a.iter().sum::<f64>() - t).abs() < 1e-7);
+    }
+
+    #[test]
+    fn steady_methods_agree(chain in arb_ctmc(6, 1.0)) {
+        let direct = steady_state(&chain, &SteadyMethod::Direct).unwrap();
+        let power = steady_state(&chain, &SteadyMethod::Power {
+            max_iterations: 2_000_000,
+            tolerance: 1e-13,
+        }).unwrap();
+        prop_assert!(sparsela::vector::diff_norm_inf(&direct, &power) < 1e-7);
+        // Stationarity: π·Q ≈ 0.
+        prop_assert!(markov::steady::stationarity_residual(&chain, &direct) < 1e-10);
+    }
+
+    #[test]
+    fn long_transient_approaches_steady_state(chain in arb_ctmc(5, 2.0)) {
+        let pi0 = chain.point_distribution(0);
+        let pi_t = transient::distribution(&chain, &pi0, 1e4, &Options::default()).unwrap();
+        let pi_inf = steady_state(&chain, &SteadyMethod::Direct).unwrap();
+        prop_assert!(sparsela::vector::diff_norm_inf(&pi_t, &pi_inf) < 1e-6);
+    }
+
+    #[test]
+    fn hitting_time_mean_consistent_with_cdf(
+        chain in arb_ctmc(4, 1.5),
+        target in 1usize..4,
+    ) {
+        // E[T∧H] for growing H converges to E[T] (non-defective here since
+        // the chain is irreducible).
+        let pi0 = chain.point_distribution(0);
+        let moments = markov::first_passage::hitting_moments(&chain, &[target]).unwrap();
+        let mean = moments.mean_from(&pi0, chain.n_states()).unwrap();
+        let horizon = mean * 50.0 + 10.0;
+        let truncated = markov::first_passage::truncated_mean_hitting_time(
+            &chain, &pi0, &[target], horizon, &Options::default(),
+        ).unwrap();
+        prop_assert!((truncated - mean).abs() < 0.02 * mean.max(0.1),
+            "truncated {truncated} vs mean {mean}");
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end reward model solution on a SAN.
+
+use markov::steady::SteadyMethod;
+use markov::transient;
+
+use crate::{Marking, ReachabilityOptions, Result, RewardSpec, SanModel, StateSpace};
+
+/// Convenience front end bundling a generated [`StateSpace`] with solver
+/// configuration: the three reward variables of the paper (instant-of-time,
+/// accumulated interval-of-time, steady-state) in one call each.
+///
+/// See the [crate-level example](crate) for usage.
+pub struct Analyzer {
+    space: StateSpace,
+    transient_options: transient::Options,
+    steady_method: SteadyMethod,
+}
+
+impl Analyzer {
+    /// Generates the state space of `model` and wraps it with default solver
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reachability failures (state-space limit, vanishing loops,
+    /// invalid marking functions).
+    pub fn generate(model: &SanModel, opts: &ReachabilityOptions) -> Result<Self> {
+        Ok(Analyzer {
+            space: StateSpace::generate(model, opts)?,
+            transient_options: transient::Options::default(),
+            steady_method: SteadyMethod::Direct,
+        })
+    }
+
+    /// Wraps an already generated state space.
+    pub fn from_state_space(space: StateSpace) -> Self {
+        Analyzer {
+            space,
+            transient_options: transient::Options::default(),
+            steady_method: SteadyMethod::Direct,
+        }
+    }
+
+    /// Replaces the transient solver options.
+    pub fn with_transient_options(mut self, options: transient::Options) -> Self {
+        self.transient_options = options;
+        self
+    }
+
+    /// Replaces the steady-state method.
+    pub fn with_steady_method(mut self, method: SteadyMethod) -> Self {
+        self.steady_method = method;
+        self
+    }
+
+    /// The underlying state space.
+    pub fn state_space(&self) -> &StateSpace {
+        &self.space
+    }
+
+    /// The state distribution at time `t` starting from the model's initial
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver failures.
+    pub fn distribution_at(&self, t: f64) -> Result<Vec<f64>> {
+        Ok(transient::distribution(
+            self.space.ctmc(),
+            self.space.initial_distribution(),
+            t,
+            &self.transient_options,
+        )?)
+    }
+
+    /// Expected **instant-of-time** reward at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver failures.
+    pub fn instant_reward(&self, spec: &RewardSpec, t: f64) -> Result<f64> {
+        let pi = self.distribution_at(t)?;
+        Ok(spec.to_structure(&self.space).instant(&pi))
+    }
+
+    /// Expected **accumulated interval-of-time** reward over `[0, t]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver failures.
+    pub fn accumulated_reward(&self, spec: &RewardSpec, t: f64) -> Result<f64> {
+        let l = transient::occupancy(
+            self.space.ctmc(),
+            self.space.initial_distribution(),
+            t,
+            &self.transient_options,
+        )?;
+        Ok(spec
+            .to_structure(&self.space)
+            .accumulated(self.space.ctmc(), &l)?)
+    }
+
+    /// Expected **steady-state** reward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates steady-state solver failures (e.g. a reducible chain).
+    pub fn steady_reward(&self, spec: &RewardSpec) -> Result<f64> {
+        let pi = markov::steady::steady_state(self.space.ctmc(), &self.steady_method)?;
+        Ok(spec.to_structure(&self.space).instant(&pi))
+    }
+
+    /// The probability that the marking satisfies `predicate` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver failures.
+    pub fn probability_at<F: Fn(&Marking) -> bool>(&self, t: f64, predicate: F) -> Result<f64> {
+        let pi = self.distribution_at(t)?;
+        Ok(self.space.probability_of(&pi, predicate))
+    }
+}
+
+impl std::fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("space", &self.space)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Activity;
+
+    /// Two-state failure/repair SAN used across the tests.
+    fn up_down(fail: f64, repair: f64) -> (SanModel, crate::PlaceId) {
+        let mut m = SanModel::new("updown");
+        let up = m.add_place("up", 1);
+        m.add_activity(Activity::timed("fail", fail).with_input_arc(up, 1))
+            .unwrap();
+        m.add_activity(
+            Activity::timed("repair", repair)
+                .with_output_arc(up, 1)
+                .with_enabling(move |mk| mk.tokens(up) == 0),
+        )
+        .unwrap();
+        (m, up)
+    }
+
+    #[test]
+    fn steady_availability_closed_form() {
+        let (m, up) = up_down(0.1, 1.0);
+        let an = Analyzer::generate(&m, &Default::default()).unwrap();
+        let spec = RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 1, 1.0);
+        let a = an.steady_reward(&spec).unwrap();
+        assert!((a - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_availability_closed_form() {
+        let (m, up) = up_down(0.5, 1.5);
+        let an = Analyzer::generate(&m, &Default::default()).unwrap();
+        let spec = RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 1, 1.0);
+        let t = 0.8;
+        let got = an.instant_reward(&spec, t).unwrap();
+        // p_up(t) = µ/(λ+µ) + λ/(λ+µ)·e^{−(λ+µ)t}.
+        let want = 1.5 / 2.0 + 0.5 / 2.0 * (-2.0f64 * t).exp();
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulated_uptime_closed_form() {
+        let (m, up) = up_down(0.5, 1.5);
+        let an = Analyzer::generate(&m, &Default::default()).unwrap();
+        let spec = RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 1, 1.0);
+        let t = 2.0;
+        let got = an.accumulated_reward(&spec, t).unwrap();
+        // ∫₀ᵗ p_up = (µ/(λ+µ))·t + (λ/(λ+µ)²)(1 − e^{−(λ+µ)t}).
+        let want = 0.75 * t + 0.5 / 4.0 * (1.0 - (-2.0f64 * t).exp());
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_at_complements() {
+        let (m, up) = up_down(1.0, 1.0);
+        let an = Analyzer::generate(&m, &Default::default()).unwrap();
+        let p_up = an.probability_at(0.7, move |mk| mk.tokens(up) == 1).unwrap();
+        let p_down = an.probability_at(0.7, move |mk| mk.tokens(up) == 0).unwrap();
+        assert!((p_up + p_down - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_reward_of_absorbing_unichain_is_point_mass() {
+        // Absorbing failure with no repair: the long-run distribution puts
+        // all mass on the failed state (unichain semantics).
+        let mut m = SanModel::new("absorbing");
+        let up = m.add_place("up", 1);
+        m.add_activity(Activity::timed("fail", 1.0).with_input_arc(up, 1))
+            .unwrap();
+        let an = Analyzer::generate(&m, &Default::default()).unwrap();
+        let up_spec = RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 1, 1.0);
+        assert_eq!(an.steady_reward(&up_spec).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn steady_reward_of_truly_reducible_chain_errors() {
+        // Two absorbing states reached probabilistically: the long-run
+        // distribution depends on chance, so the solver must refuse.
+        let mut m2 = SanModel::new("competing");
+        let live = m2.add_place("live", 1);
+        let x = m2.add_place("x", 0);
+        let y = m2.add_place("y", 0);
+        m2.add_activity(
+            Activity::timed("branch", 1.0)
+                .with_input_arc(live, 1)
+                .with_case(crate::Case::with_probability(0.5).with_output_arc(x, 1))
+                .with_case(crate::Case::with_probability(0.5).with_output_arc(y, 1)),
+        )
+        .unwrap();
+        let an = Analyzer::generate(&m2, &Default::default()).unwrap();
+        let spec = RewardSpec::new().rate_when(|_| true, 1.0);
+        assert!(an.steady_reward(&spec).is_err());
+    }
+}

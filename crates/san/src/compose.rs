@@ -1,0 +1,390 @@
+//! Composed models: UltraSAN-style **Join** and **Replicate** operators.
+//!
+//! UltraSAN built large models by joining submodels over shared places and
+//! replicating identical submodels. Because activities carry closures,
+//! submodels here are *builder functions* that populate a [`Composer`]
+//! through a namespaced [`SubmodelScope`]:
+//!
+//! * places created through a scope are prefixed with the submodel's name
+//!   (`cpu/busy`), preventing accidental capture across submodels;
+//! * **shared places** are declared on the composer and accessed by name
+//!   from any scope — the join surface;
+//! * [`Composer::replicate`] instantiates a builder `n` times with distinct
+//!   prefixes (`node0/…`, `node1/…`), passing the replica index so builders
+//!   can vary rates per replica if needed.
+//!
+//! # Example: machine-repairman (3 machines, 1 shared crew)
+//!
+//! The crew is *held* for the repair duration: an instantaneous activity
+//! grabs the crew token when a machine is down, and the timed repair
+//! returns it — so repairs are genuinely serialized.
+//!
+//! ```
+//! use san::{compose::Composer, Activity, Analyzer, RewardSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut composer = Composer::new("repairman");
+//! let crew = composer.shared_place("crew", 1);
+//! composer.replicate("machine", 3, |scope, _i| {
+//!     let up = scope.add_place("up", 1);
+//!     let down = scope.add_place("down", 0);
+//!     let in_repair = scope.add_place("in_repair", 0);
+//!     let crew = scope.shared("crew")?;
+//!     scope.add_activity(
+//!         Activity::timed("fail", 0.1)
+//!             .with_input_arc(up, 1)
+//!             .with_output_arc(down, 1),
+//!     )?;
+//!     scope.add_activity(
+//!         Activity::instantaneous("grab_crew")
+//!             .with_input_arc(down, 1)
+//!             .with_input_arc(crew, 1)
+//!             .with_output_arc(in_repair, 1),
+//!     )?;
+//!     scope.add_activity(
+//!         Activity::timed("repair", 1.0)
+//!             .with_input_arc(in_repair, 1)
+//!             .with_output_arc(up, 1)
+//!             .with_output_arc(crew, 1),
+//!     )?;
+//!     Ok(())
+//! })?;
+//! let model = composer.finish();
+//! let analyzer = Analyzer::generate(&model, &Default::default())?;
+//! let up0 = model.find_place("machine0/up").unwrap();
+//! let avail = RewardSpec::new().rate_when(move |mk| mk.tokens(up0) == 1, 1.0);
+//! assert!(analyzer.steady_reward(&avail)? > 0.8);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::model::{Activity, ActivityId, InputGateId, OutputGateId, PlaceId, SanModel};
+use crate::{Marking, Result, SanError};
+
+/// Builder for composed SAN models.
+pub struct Composer {
+    model: SanModel,
+    shared: HashMap<String, PlaceId>,
+}
+
+impl Composer {
+    /// Starts a composition.
+    pub fn new(name: impl Into<String>) -> Self {
+        Composer {
+            model: SanModel::new(name),
+            shared: HashMap::new(),
+        }
+    }
+
+    /// Declares (or retrieves) a shared place visible to every submodel.
+    /// Redeclaring an existing name returns the existing place and ignores
+    /// `initial`.
+    pub fn shared_place(&mut self, name: impl Into<String>, initial: u32) -> PlaceId {
+        let name = name.into();
+        if let Some(&p) = self.shared.get(&name) {
+            return p;
+        }
+        let p = self.model.add_place(format!("shared/{name}"), initial);
+        self.shared.insert(name, p);
+        p
+    }
+
+    /// Adds one submodel under `prefix` (the join operator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's failures (including unknown shared places).
+    pub fn add_submodel<F>(&mut self, prefix: impl Into<String>, builder: F) -> Result<&mut Self>
+    where
+        F: FnOnce(&mut SubmodelScope<'_>) -> Result<()>,
+    {
+        let mut scope = SubmodelScope {
+            model: &mut self.model,
+            shared: &self.shared,
+            prefix: prefix.into(),
+        };
+        builder(&mut scope)?;
+        Ok(self)
+    }
+
+    /// Instantiates `builder` for replicas `0..count` with prefixes
+    /// `{prefix}{i}` (the replicate operator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's failures.
+    pub fn replicate<F>(
+        &mut self,
+        prefix: impl Into<String>,
+        count: usize,
+        builder: F,
+    ) -> Result<&mut Self>
+    where
+        F: Fn(&mut SubmodelScope<'_>, usize) -> Result<()>,
+    {
+        let prefix = prefix.into();
+        for i in 0..count {
+            let mut scope = SubmodelScope {
+                model: &mut self.model,
+                shared: &self.shared,
+                prefix: format!("{prefix}{i}"),
+            };
+            builder(&mut scope, i)?;
+        }
+        Ok(self)
+    }
+
+    /// Finishes the composition, yielding the flat model.
+    pub fn finish(self) -> SanModel {
+        self.model
+    }
+}
+
+impl std::fmt::Debug for Composer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Composer")
+            .field("model", &self.model)
+            .field("shared", &self.shared.len())
+            .finish()
+    }
+}
+
+/// A namespaced view of the composed model handed to submodel builders.
+pub struct SubmodelScope<'a> {
+    model: &'a mut SanModel,
+    shared: &'a HashMap<String, PlaceId>,
+    prefix: String,
+}
+
+impl SubmodelScope<'_> {
+    /// This scope's namespace prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Adds a place local to this submodel (name is prefixed).
+    pub fn add_place(&mut self, name: impl AsRef<str>, initial: u32) -> PlaceId {
+        self.model
+            .add_place(format!("{}/{}", self.prefix, name.as_ref()), initial)
+    }
+
+    /// Resolves a shared place by its composer-level name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidModel`] for undeclared names.
+    pub fn shared(&self, name: &str) -> Result<PlaceId> {
+        self.shared
+            .get(name)
+            .copied()
+            .ok_or_else(|| SanError::InvalidModel {
+                context: format!(
+                    "submodel '{}' references undeclared shared place '{name}'",
+                    self.prefix
+                ),
+            })
+    }
+
+    /// Adds an activity (name is prefixed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SanModel::add_activity`] failures.
+    pub fn add_activity(&mut self, activity: Activity) -> Result<ActivityId> {
+        let renamed = format!("{}/{}", self.prefix, activity.name_for_compose());
+        self.model.add_activity(activity.with_name(renamed))
+    }
+
+    /// Adds an input gate (name is prefixed).
+    pub fn add_input_gate<P, F>(
+        &mut self,
+        name: impl AsRef<str>,
+        predicate: P,
+        function: F,
+    ) -> InputGateId
+    where
+        P: Fn(&Marking) -> bool + Send + Sync + 'static,
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        self.model.add_input_gate(
+            format!("{}/{}", self.prefix, name.as_ref()),
+            predicate,
+            function,
+        )
+    }
+
+    /// Adds an output gate (name is prefixed).
+    pub fn add_output_gate<F>(&mut self, name: impl AsRef<str>, function: F) -> OutputGateId
+    where
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        self.model
+            .add_output_gate(format!("{}/{}", self.prefix, name.as_ref()), function)
+    }
+}
+
+impl std::fmt::Debug for SubmodelScope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmodelScope")
+            .field("prefix", &self.prefix)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analyzer, RewardSpec, StateSpace};
+
+    /// Machine-repairman with `n` machines and one crew held for the whole
+    /// repair (instantaneous grab + timed repair); failure rate λ, repair
+    /// rate µ.
+    fn repairman(n: usize, lam: f64, mu: f64) -> SanModel {
+        let mut composer = Composer::new("repairman");
+        composer.shared_place("crew", 1);
+        composer
+            .replicate("m", n, |scope, _| {
+                let up = scope.add_place("up", 1);
+                let down = scope.add_place("down", 0);
+                let in_repair = scope.add_place("in_repair", 0);
+                let crew = scope.shared("crew")?;
+                scope.add_activity(
+                    Activity::timed("fail", lam)
+                        .with_input_arc(up, 1)
+                        .with_output_arc(down, 1),
+                )?;
+                scope.add_activity(
+                    Activity::instantaneous("grab")
+                        .with_input_arc(down, 1)
+                        .with_input_arc(crew, 1)
+                        .with_output_arc(in_repair, 1),
+                )?;
+                scope.add_activity(
+                    Activity::timed("repair", mu)
+                        .with_input_arc(in_repair, 1)
+                        .with_output_arc(up, 1)
+                        .with_output_arc(crew, 1),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        composer.finish()
+    }
+
+    #[test]
+    fn replicas_are_namespaced() {
+        let m = repairman(3, 0.1, 1.0);
+        assert!(m.find_place("m0/up").is_some());
+        assert!(m.find_place("m2/in_repair").is_some());
+        assert!(m.find_place("shared/crew").is_some());
+        assert_eq!(m.n_places(), 10);
+        assert_eq!(m.n_activities(), 9);
+    }
+
+    #[test]
+    fn repairman_steady_state_matches_birth_death() {
+        // With the crew held for the repair, the number of non-operational
+        // machines is a single-server birth-death chain: up-rate (n−k)·λ,
+        // down-rate µ for k ≥ 1.
+        let (n, lam, mu) = (3usize, 0.2, 1.5);
+        let model = repairman(n, lam, mu);
+        let analyzer = Analyzer::generate(&model, &Default::default()).unwrap();
+
+        // Closed form: π_k ∝ Π_{j<k} (n−j)λ/µ.
+        let mut weights = vec![1.0];
+        for k in 0..n {
+            let w = weights[k] * (n - k) as f64 * lam / mu;
+            weights.push(w);
+        }
+        let z: f64 = weights.iter().sum();
+
+        let up_places: Vec<_> = (0..n)
+            .map(|i| model.find_place(&format!("m{i}/up")).unwrap())
+            .collect();
+        for k in 0..=n {
+            let ups = up_places.clone();
+            let spec = RewardSpec::new().rate_when(
+                move |mk| ups.iter().filter(|&&p| mk.tokens(p) == 0).count() == k,
+                1.0,
+            );
+            let got = analyzer.steady_reward(&spec).unwrap();
+            let want = weights[k] / z;
+            assert!((got - want).abs() < 1e-10, "k={k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn replica_index_can_vary_rates() {
+        let mut composer = Composer::new("hetero");
+        composer
+            .replicate("unit", 2, |scope, i| {
+                let up = scope.add_place("up", 1);
+                // Replica 1 fails 10× faster.
+                let rate = if i == 0 { 0.1 } else { 1.0 };
+                scope.add_activity(Activity::timed("fail", rate).with_input_arc(up, 1))?;
+                Ok(())
+            })
+            .unwrap();
+        let model = composer.finish();
+        let ss = StateSpace::generate(&model, &Default::default()).unwrap();
+        let u0 = model.find_place("unit0/up").unwrap();
+        let u1 = model.find_place("unit1/up").unwrap();
+        let init = ss
+            .state_of(&crate::Marking::from_tokens(vec![1, 1]))
+            .unwrap();
+        let _ = (u0, u1);
+        assert!((ss.ctmc().exit_rate(init) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_two_different_submodels_over_a_buffer() {
+        // Producer fills a shared buffer; consumer drains it.
+        let mut composer = Composer::new("pipeline");
+        let buffer = composer.shared_place("buffer", 0);
+        composer
+            .add_submodel("producer", |scope| {
+                let b = scope.shared("buffer")?;
+                scope.add_activity(
+                    Activity::timed("produce", 1.0)
+                        .with_enabling(move |mk| mk.tokens(b) < 3)
+                        .with_output_arc(b, 1),
+                )?;
+                Ok(())
+            })
+            .unwrap()
+            .add_submodel("consumer", |scope| {
+                let b = scope.shared("buffer")?;
+                scope.add_activity(Activity::timed("consume", 2.0).with_input_arc(b, 1))?;
+                Ok(())
+            })
+            .unwrap();
+        let model = composer.finish();
+        let analyzer = Analyzer::generate(&model, &Default::default()).unwrap();
+        assert_eq!(analyzer.state_space().n_states(), 4);
+        // M/M/1/3 with ρ = 0.5: P[empty] = 1/(1+ρ+ρ²+ρ³) = 8/15.
+        let spec = RewardSpec::new().rate_when(move |mk| mk.tokens(buffer) == 0, 1.0);
+        assert!((analyzer.steady_reward(&spec).unwrap() - 8.0 / 15.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn undeclared_shared_place_errors() {
+        let mut composer = Composer::new("bad");
+        let err = composer.add_submodel("sub", |scope| {
+            scope.shared("nope")?;
+            Ok(())
+        });
+        assert!(matches!(err, Err(SanError::InvalidModel { .. })));
+    }
+
+    #[test]
+    fn shared_place_redeclaration_is_idempotent() {
+        let mut composer = Composer::new("idem");
+        let a = composer.shared_place("pool", 5);
+        let b = composer.shared_place("pool", 99);
+        assert_eq!(a, b);
+        let model = composer.finish();
+        assert_eq!(model.initial_marking().tokens(a), 5);
+    }
+}

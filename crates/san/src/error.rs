@@ -1,0 +1,103 @@
+use std::fmt;
+
+use markov::MarkovError;
+
+/// Errors produced by SAN specification and analysis.
+#[derive(Debug)]
+pub enum SanError {
+    /// The model specification is malformed (dangling ids, empty cases,
+    /// invalid probabilities or rates, …).
+    InvalidModel {
+        /// Description of the violation.
+        context: String,
+    },
+    /// Reachability analysis exceeded the configured state budget.
+    StateSpaceLimit {
+        /// Configured maximum number of tangible states.
+        limit: usize,
+    },
+    /// A cycle (or over-deep chain) of instantaneous activities was found
+    /// while eliminating vanishing markings; such models have no
+    /// well-defined CTMC semantics under this generator.
+    VanishingLoop {
+        /// Depth at which the resolution gave up.
+        depth: usize,
+        /// Name of the activity in progress when the loop was detected.
+        activity: String,
+    },
+    /// A marking-dependent function returned an invalid value (negative
+    /// rate, case probabilities that do not normalize, NaN, …).
+    InvalidFunction {
+        /// Description of the bad evaluation.
+        context: String,
+    },
+    /// The generated chain could not be analysed.
+    Markov(MarkovError),
+}
+
+impl fmt::Display for SanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanError::InvalidModel { context } => write!(f, "invalid SAN model: {context}"),
+            SanError::StateSpaceLimit { limit } => {
+                write!(f, "state space exceeded the configured limit of {limit} tangible states")
+            }
+            SanError::VanishingLoop { depth, activity } => write!(
+                f,
+                "instantaneous-activity loop detected at depth {depth} (while firing {activity})"
+            ),
+            SanError::InvalidFunction { context } => {
+                write!(f, "invalid marking-dependent evaluation: {context}")
+            }
+            SanError::Markov(e) => write!(f, "markov analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SanError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarkovError> for SanError {
+    fn from(e: MarkovError) -> Self {
+        SanError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let cases = vec![
+            SanError::InvalidModel {
+                context: "empty case list".into(),
+            },
+            SanError::StateSpaceLimit { limit: 10 },
+            SanError::VanishingLoop {
+                depth: 64,
+                activity: "at".into(),
+            },
+            SanError::InvalidFunction {
+                context: "rate was NaN".into(),
+            },
+            SanError::Markov(MarkovError::Reducible { components: 2 }),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn markov_source_is_chained() {
+        use std::error::Error;
+        let e = SanError::Markov(MarkovError::Reducible { components: 2 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,90 @@
+//! Simulation configuration.
+
+use performability::{GsuParams, PerfError};
+
+/// How the discount factor γ of Eq. 4 is applied to `S2` sample paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GammaMode {
+    /// Per-path discount `γ(τ) = 1 − τ/θ` using that path's actual
+    /// detection time — the natural simulation counterpart of the paper's
+    /// `γ = 1 − τ/θ` policy (which applies the *mean* detection time as a
+    /// constant).
+    PerPath,
+    /// A fixed discount, e.g. to mirror an analytic evaluation exactly.
+    Constant(f64),
+    /// No discount (γ = 1).
+    None,
+}
+
+/// Configuration of one simulated scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// The GSU parameter set (Table 3 style).
+    pub params: GsuParams,
+    /// Guarded-operation duration φ ∈ `[0, θ]`.
+    pub phi: f64,
+    /// Discount policy for unsuccessful-but-safe upgrades.
+    pub gamma: GammaMode,
+}
+
+impl SimConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns parameter/φ validation failures from the `performability`
+    /// layer.
+    pub fn new(params: GsuParams, phi: f64) -> Result<Self, PerfError> {
+        params.validate()?;
+        params.validate_phi(phi)?;
+        Ok(SimConfig {
+            params,
+            phi,
+            gamma: GammaMode::PerPath,
+        })
+    }
+
+    /// Replaces the γ mode.
+    pub fn with_gamma(mut self, gamma: GammaMode) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    pub(crate) fn gamma_for(&self, detection_time: f64) -> f64 {
+        match self.gamma {
+            GammaMode::PerPath => (1.0 - detection_time / self.params.theta).clamp(0.0, 1.0),
+            GammaMode::Constant(g) => g.clamp(0.0, 1.0),
+            GammaMode::None => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        let p = GsuParams::paper_baseline();
+        assert!(SimConfig::new(p, 7000.0).is_ok());
+        assert!(SimConfig::new(p, -1.0).is_err());
+        assert!(SimConfig::new(p, 1e9).is_err());
+        let mut bad = p;
+        bad.lambda = -1.0;
+        assert!(SimConfig::new(bad, 0.0).is_err());
+    }
+
+    #[test]
+    fn gamma_modes() {
+        let c = SimConfig::new(GsuParams::paper_baseline(), 5000.0).unwrap();
+        assert_eq!(c.gamma_for(2500.0), 0.75);
+        assert_eq!(c.with_gamma(GammaMode::Constant(0.5)).gamma_for(2500.0), 0.5);
+        assert_eq!(c.with_gamma(GammaMode::None).gamma_for(2500.0), 1.0);
+        // Clamping.
+        assert_eq!(c.gamma_for(20_000.0), 0.0);
+        assert_eq!(
+            c.with_gamma(GammaMode::Constant(3.0)).gamma_for(0.0),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! The hybrid two-level simulation engine.
+//!
+//! The exact engine (`simulate_run`) executes every message event — about
+//! `2λθ ≈ 2.4·10⁷` events per replication at the paper's parameters, which
+//! makes Monte-Carlo estimation at mission scale impractical. This module
+//! exploits the same timescale separation the paper's analysis does
+//! (§3.3: overhead events reach steady state long before any fault
+//! manifests):
+//!
+//! * a **calibration pass** ([`calibrate`]) runs the exact engine
+//!   fault-free over a short window to *measure* the steady-state
+//!   forward-progress fractions `ρ1`, `ρ2` and the dirty-bit occupancy of
+//!   `P2`;
+//! * the **skeleton** ([`simulate_run_hybrid`]) then jumps from fault
+//!   manifestation to fault manifestation, and simulates the protocol at
+//!   message granularity only inside the short **error episodes** that
+//!   follow a manifestation (detection or failure resolves within a few
+//!   message cycles, i.e. minutes of mission time).
+//!
+//! Agreement between the two engines at scaled-down parameters is asserted
+//! in this module's tests and in the workspace integration tests.
+
+use crate::engine::{PathClass, RunOutcome};
+use crate::{simulate_run, SimConfig, SimRng};
+use performability::GsuParams;
+
+/// Steady-state protocol quantities measured by [`calibrate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Forward-progress fraction of `P1new` under guarded operation.
+    pub rho1: f64,
+    /// Forward-progress fraction of `P2` under guarded operation.
+    pub rho2: f64,
+    /// Fraction of time `P2`'s dirty bit is set under guarded operation.
+    pub p2_dirty: f64,
+}
+
+/// Measures the steady-state overhead quantities by running the exact
+/// engine fault-free for roughly `events` message events.
+pub fn calibrate(params: &GsuParams, events: usize, rng: &mut SimRng) -> Calibration {
+    // Horizon chosen so each of the two sending processes emits ~events/2
+    // messages.
+    let horizon = (events as f64 / (2.0 * params.lambda)).max(4.0 / params.lambda);
+    let mut p = *params;
+    p.mu_new = f64::MIN_POSITIVE; // fault-free within any finite horizon
+    p.mu_old = 0.0;
+    p.theta = horizon;
+    let cfg = SimConfig::new(p, horizon).expect("calibration parameters are valid");
+    let out = simulate_run(&cfg, rng);
+    debug_assert_eq!(out.class, PathClass::S1);
+    Calibration {
+        rho1: (out.progress_p1 / horizon).clamp(0.0, 1.0),
+        rho2: (out.progress_p2 / horizon).clamp(0.0, 1.0),
+        p2_dirty: out.p2_dirty_fraction,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EpisodeEnd {
+    Detected(f64),
+    Failed(f64),
+}
+
+/// Simulates one mission window with the two-level scheme.
+///
+/// Semantics match [`simulate_run`] with three documented approximations:
+/// the guarded-segment progress is `ρ_i·segment` with the calibrated
+/// fractions instead of per-path measured blocking; the dirty-bit state at a
+/// manifestation instant is sampled from its calibrated occupancy; and the
+/// `at_count`/`checkpoint_count` fields count only episode events (the
+/// steady background volume is `λ·p_ext·t` ATs by construction).
+pub fn simulate_run_hybrid(
+    config: &SimConfig,
+    cal: &Calibration,
+    rng: &mut SimRng,
+) -> RunOutcome {
+    let params = config.params;
+    let theta = params.theta;
+    let phi = config.phi;
+
+    let mut at_count = 0u64;
+    let mut checkpoint_count = 0u64;
+
+    // --- Guarded operation: jump to the first relevant manifestation. ----
+    let mut detection: Option<f64> = None;
+    let mut failure: Option<f64> = None;
+
+    if phi > 0.0 {
+        // Shadow-process (P1old) faults are irrelevant during G-OP: its
+        // outputs are suppressed and recovery restores validated state.
+        // Episodes are terminal (detection or failure — contamination never
+        // clears without recovery), so only the first manifestation matters.
+        let fault_p1n = rng.exp(params.mu_new);
+        let fault_p2 = rng.exp(params.mu_old);
+        let (first, p1n_faulted) = if fault_p1n <= fault_p2 {
+            (fault_p1n, true)
+        } else {
+            (fault_p2, false)
+        };
+        if first < phi {
+            match gop_episode(
+                params,
+                cal,
+                first,
+                phi,
+                p1n_faulted,
+                rng,
+                &mut at_count,
+                &mut checkpoint_count,
+            ) {
+                EpisodeEnd::Detected(tau) => detection = Some(tau),
+                EpisodeEnd::Failed(tf) => failure = Some(tf),
+            }
+        }
+    }
+
+    // --- Normal mode remainder. ------------------------------------------
+    let (seg, class_if_survives) = match (detection, failure) {
+        (_, Some(_)) => (failure.unwrap().min(phi), PathClass::S3),
+        (Some(tau), None) => (tau.min(phi), PathClass::S2),
+        (None, None) => (phi, PathClass::S1),
+    };
+
+    if failure.is_none() {
+        let start = detection.unwrap_or(phi);
+        // After recovery the old version (µ_old) is active; after a
+        // successful upgrade the new one (µ_new) is. Surviving processes
+        // are clean at the hand-over (recovery restores validated state;
+        // the analytic model makes the same assumption).
+        let mu_active = if detection.is_some() {
+            params.mu_old
+        } else {
+            params.mu_new
+        };
+        let fault_a = start + rng.exp(mu_active);
+        let fault_b = start + rng.exp(params.mu_old);
+        let first = fault_a.min(fault_b);
+        if first < theta {
+            // An unprotected contaminated process fails the system at its
+            // first erroneous external message; internal messages merely
+            // propagate. Either way failure follows within a few message
+            // cycles — simulate them.
+            let tf = normal_failure_time(params, first, rng);
+            if tf < theta {
+                failure = Some(tf);
+            }
+        }
+    }
+
+    let class = if failure.is_some() {
+        PathClass::S3
+    } else {
+        class_if_survives
+    };
+
+    let progress_p1 = cal.rho1 * seg;
+    let progress_p2 = cal.rho2 * seg;
+    let worth = match class {
+        PathClass::S3 => 0.0,
+        PathClass::S2 => {
+            let tau = detection.expect("S2 has a detection time");
+            config.gamma_for(tau) * (progress_p1 + progress_p2 + 2.0 * (theta - tau))
+        }
+        PathClass::S1 => progress_p1 + progress_p2 + 2.0 * (theta - phi),
+    };
+
+    RunOutcome {
+        class,
+        worth,
+        detection_time: detection,
+        failure_time: failure,
+        progress_p1,
+        progress_p2,
+        at_count,
+        checkpoint_count,
+        p2_dirty_fraction: cal.p2_dirty,
+    }
+}
+
+/// Message-level episode from a fault manifestation during guarded
+/// operation until detection or failure.
+#[allow(clippy::too_many_arguments)]
+fn gop_episode(
+    params: GsuParams,
+    cal: &Calibration,
+    start: f64,
+    phi: f64,
+    p1n_faulted: bool,
+    rng: &mut SimRng,
+    at_count: &mut u64,
+    checkpoint_count: &mut u64,
+) -> EpisodeEnd {
+    let mut t = start;
+    let mut ctn_p1n = p1n_faulted;
+    let mut ctn_p2 = !p1n_faulted;
+    let mut dirty2 = rng.bernoulli(cal.p2_dirty);
+
+    loop {
+        let dt_p1n = rng.exp(params.lambda);
+        let dt_p2 = rng.exp(params.lambda);
+        let (dt, p1n_sends) = if dt_p1n <= dt_p2 {
+            (dt_p1n, true)
+        } else {
+            (dt_p2, false)
+        };
+        t += dt;
+        let in_gop = t < phi;
+        let external = rng.bernoulli(params.p_ext);
+
+        if p1n_sends {
+            if external {
+                if in_gop {
+                    *at_count += 1;
+                    let done = t + rng.exp(params.alpha);
+                    if ctn_p1n {
+                        return if rng.bernoulli(params.coverage) {
+                            EpisodeEnd::Detected(done)
+                        } else {
+                            EpisodeEnd::Failed(done)
+                        };
+                    }
+                    dirty2 = false;
+                } else if ctn_p1n {
+                    // Past φ: no safeguard, erroneous message escapes.
+                    return EpisodeEnd::Failed(t);
+                }
+            } else {
+                if ctn_p1n {
+                    ctn_p2 = true;
+                }
+                if in_gop {
+                    if !dirty2 {
+                        *checkpoint_count += 1;
+                    }
+                    dirty2 = true;
+                }
+            }
+        } else if external {
+            if in_gop && dirty2 {
+                *at_count += 1;
+                let done = t + rng.exp(params.alpha);
+                if ctn_p2 {
+                    return if rng.bernoulli(params.coverage) {
+                        EpisodeEnd::Detected(done)
+                    } else {
+                        EpisodeEnd::Failed(done)
+                    };
+                }
+                dirty2 = false;
+            } else if ctn_p2 {
+                return EpisodeEnd::Failed(t);
+            }
+        } else if ctn_p2 {
+            ctn_p1n = true;
+        }
+    }
+}
+
+/// Time at which an unprotected system with a freshly contaminated process
+/// fails: the contaminated set grows by internal messages and the system
+/// fails at the first external message from a contaminated process.
+fn normal_failure_time(params: GsuParams, start: f64, rng: &mut SimRng) -> f64 {
+    let mut t = start;
+    let mut contaminated = 1usize; // out of the two active processes
+    loop {
+        // Superposition of the contaminated processes' message streams.
+        t += rng.exp(params.lambda * contaminated as f64);
+        if rng.bernoulli(params.p_ext) {
+            return t;
+        }
+        contaminated = 2; // internal message contaminates the peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GammaMode;
+
+    /// Scaled-down parameters where the exact engine is fast enough to act
+    /// as ground truth.
+    fn small_params() -> GsuParams {
+        GsuParams {
+            theta: 50.0,
+            lambda: 40.0,
+            mu_new: 0.02,
+            mu_old: 1e-7,
+            coverage: 0.95,
+            p_ext: 0.1,
+            alpha: 200.0,
+            beta: 200.0,
+        }
+    }
+
+    #[test]
+    fn calibration_measures_sensible_fractions() {
+        let mut rng = SimRng::from_seed(1);
+        let cal = calibrate(&small_params(), 20_000, &mut rng);
+        // 1−ρ1 ≈ (p_ext/α)/(1/λ + p_ext/α) = 0.0196.
+        assert!((cal.rho1 - 0.98).abs() < 0.01, "rho1 = {}", cal.rho1);
+        assert!(cal.rho2 > 0.9 && cal.rho2 < 1.0, "rho2 = {}", cal.rho2);
+        assert!(cal.p2_dirty > 0.5, "p2_dirty = {}", cal.p2_dirty);
+    }
+
+    #[test]
+    fn hybrid_agrees_with_exact_on_class_probabilities() {
+        let params = small_params();
+        let phi = 30.0;
+        let cfg = SimConfig::new(params, phi).unwrap();
+        let mut rng = SimRng::from_seed(7);
+        let cal = calibrate(&params, 20_000, &mut rng);
+
+        let n = 2000;
+        let mut exact = [0usize; 3];
+        let mut hybrid = [0usize; 3];
+        let mut exact_worth = 0.0;
+        let mut hybrid_worth = 0.0;
+        for i in 0..n {
+            let mut r1 = SimRng::stream(100, i);
+            let mut r2 = SimRng::stream(200, i);
+            let a = simulate_run(&cfg, &mut r1);
+            let b = simulate_run_hybrid(&cfg, &cal, &mut r2);
+            exact[a.class as usize] += 1;
+            hybrid[b.class as usize] += 1;
+            exact_worth += a.worth;
+            hybrid_worth += b.worth;
+        }
+        for k in 0..3 {
+            let pe = exact[k] as f64 / n as f64;
+            let ph = hybrid[k] as f64 / n as f64;
+            assert!(
+                (pe - ph).abs() < 0.05,
+                "class {k}: exact {pe} vs hybrid {ph}"
+            );
+        }
+        let we = exact_worth / n as f64;
+        let wh = hybrid_worth / n as f64;
+        assert!((we - wh).abs() / we < 0.05, "worth exact {we} vs hybrid {wh}");
+    }
+
+    #[test]
+    fn hybrid_is_deterministic() {
+        let params = small_params();
+        let cfg = SimConfig::new(params, 25.0).unwrap();
+        let mut r = SimRng::from_seed(3);
+        let cal = calibrate(&params, 5_000, &mut r);
+        let mut a = SimRng::from_seed(9);
+        let mut b = SimRng::from_seed(9);
+        assert_eq!(
+            simulate_run_hybrid(&cfg, &cal, &mut a),
+            simulate_run_hybrid(&cfg, &cal, &mut b)
+        );
+    }
+
+    #[test]
+    fn hybrid_phi_zero_never_detects() {
+        let params = small_params();
+        let cfg = SimConfig::new(params, 0.0).unwrap();
+        let cal = Calibration {
+            rho1: 0.98,
+            rho2: 0.95,
+            p2_dirty: 0.9,
+        };
+        for seed in 0..100 {
+            let mut rng = SimRng::from_seed(seed);
+            let out = simulate_run_hybrid(&cfg, &cal, &mut rng);
+            assert!(out.detection_time.is_none());
+            assert_ne!(out.class, PathClass::S2);
+            if out.class == PathClass::S1 {
+                assert_eq!(out.worth, 2.0 * params.theta);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_handles_paper_scale_quickly() {
+        // The whole point: 500 mission-scale replications in well under a
+        // second.
+        let params = GsuParams::paper_baseline();
+        let cfg = SimConfig::new(params, 7000.0).unwrap();
+        let cal = Calibration {
+            rho1: 0.98,
+            rho2: 0.955,
+            p2_dirty: 0.9,
+        };
+        let mut s2 = 0;
+        for seed in 0..500 {
+            let mut rng = SimRng::from_seed(seed);
+            let out = simulate_run_hybrid(&cfg, &cal, &mut rng);
+            if out.class == PathClass::S2 {
+                s2 += 1;
+                assert!(out.detection_time.unwrap() <= 7000.0 + 1.0);
+            }
+        }
+        // Detection prob ≈ c·(1 − e^{−µφ}) ≈ 0.478.
+        let frac = s2 as f64 / 500.0;
+        assert!((frac - 0.48).abs() < 0.07, "S2 fraction {frac}");
+    }
+
+    #[test]
+    fn hybrid_gamma_modes_respected() {
+        let params = GsuParams::paper_baseline();
+        let cal = Calibration {
+            rho1: 0.98,
+            rho2: 0.955,
+            p2_dirty: 0.9,
+        };
+        let base = SimConfig::new(params, 9000.0).unwrap();
+        for seed in 0..200 {
+            let mut r1 = SimRng::from_seed(seed);
+            let mut r2 = SimRng::from_seed(seed);
+            let with = simulate_run_hybrid(&base, &cal, &mut r1);
+            let without =
+                simulate_run_hybrid(&base.with_gamma(GammaMode::None), &cal, &mut r2);
+            if with.class == PathClass::S2 {
+                assert!(without.worth >= with.worth);
+            } else {
+                assert_eq!(with.worth, without.worth);
+            }
+        }
+    }
+}

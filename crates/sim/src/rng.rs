@@ -1,0 +1,127 @@
+//! Random-number utilities for the simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random source with the distributions the protocol simulation
+/// needs. Deterministic for a given seed, so experiments are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use mdcd_sim::SimRng;
+///
+/// let mut a = SimRng::from_seed(42);
+/// let mut b = SimRng::from_seed(42);
+/// assert_eq!(a.exp(2.0), b.exp(2.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent stream for replication `index` — a SplitMix64
+    /// hash decorrelates adjacent indices.
+    pub fn stream(seed: u64, index: u64) -> Self {
+        let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::from_seed(z ^ (z >> 31))
+    }
+
+    /// Samples `Exp(rate)` by inversion. A zero rate yields `+∞` (the event
+    /// never happens), matching how the models treat absent transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or NaN.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate >= 0.0, "exponential rate must be >= 0, got {rate}");
+        if rate == 0.0 {
+            return f64::INFINITY;
+        }
+        // gen::<f64>() is in [0, 1); use 1−u to avoid ln(0).
+        let u: f64 = self.inner.gen();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        let u: f64 = self.inner.gen();
+        u < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::stream(1, 5);
+        let mut b = SimRng::stream(1, 5);
+        for _ in 0..10 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let mut a = SimRng::stream(1, 5);
+        let mut b = SimRng::stream(1, 6);
+        let same = (0..10).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn exp_mean_is_reciprocal_rate() {
+        let mut rng = SimRng::from_seed(99);
+        let rate = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_zero_rate_is_never() {
+        let mut rng = SimRng::from_seed(1);
+        assert_eq!(rng.exp(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be >= 0")]
+    fn exp_negative_rate_panics() {
+        SimRng::from_seed(1).exp(-1.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = SimRng::from_seed(7);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::from_seed(7);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(-0.5));
+        assert!(rng.bernoulli(1.5));
+    }
+}

@@ -1,0 +1,202 @@
+//! Shadow-mode onboard validation (the first GSU stage, paper §2).
+//!
+//! During onboard validation the new version executes alongside the old one
+//! with its outputs suppressed but *selectively logged*; discrepancies
+//! against the proven version reveal fault manifestations, and the onboard
+//! error log is downloaded for Bayesian reliability analysis. This module
+//! simulates that stage: manifestations form a Poisson process at the
+//! (unknown to the analyst) true rate, and the log drives the
+//! `performability::validation` inference — closing the loop of the
+//! paper's Figure 1 lifecycle (see the `upgrade_campaign` example).
+
+use performability::validation::{FaultRatePosterior, StoppingRule};
+use performability::Result;
+
+use crate::SimRng;
+
+/// The onboard error log produced by a validation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationLog {
+    /// Times (hours from validation start) at which fault manifestations
+    /// were observed, ascending.
+    pub manifestation_times: Vec<f64>,
+    /// Total shadow-mode exposure covered by this log (hours).
+    pub exposure: f64,
+}
+
+impl ValidationLog {
+    /// Number of manifestations in the log.
+    pub fn fault_count(&self) -> u64 {
+        self.manifestation_times.len() as u64
+    }
+
+    /// Applies this log to a prior as one conjugate update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posterior-update validation failures.
+    pub fn update(&self, prior: FaultRatePosterior) -> Result<FaultRatePosterior> {
+        prior.observe(self.fault_count(), self.exposure)
+    }
+}
+
+/// Simulates a shadow-mode validation window of `duration` hours with true
+/// manifestation rate `mu_true`.
+pub fn simulate_validation(mu_true: f64, duration: f64, rng: &mut SimRng) -> ValidationLog {
+    assert!(mu_true >= 0.0, "rate must be >= 0");
+    assert!(duration >= 0.0 && duration.is_finite(), "duration must be finite");
+    let mut times = Vec::new();
+    let mut t = rng.exp(mu_true);
+    while t < duration {
+        times.push(t);
+        t += rng.exp(mu_true);
+    }
+    ValidationLog {
+        manifestation_times: times,
+        exposure: duration,
+    }
+}
+
+/// Outcome of an adaptive validation campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// The posterior after all observed chunks.
+    pub posterior: FaultRatePosterior,
+    /// Total exposure spent.
+    pub exposure: f64,
+    /// Total manifestations observed.
+    pub faults: u64,
+    /// Whether the stopping rule was met within the budget.
+    pub admitted: bool,
+}
+
+/// Runs validation in `chunk`-hour increments, updating the posterior after
+/// each chunk, until the stopping rule admits the upgrade or `max_exposure`
+/// is spent — the operational shape of the Littlewood–Wright procedure.
+///
+/// # Errors
+///
+/// Propagates posterior-update failures; `chunk` must be positive.
+pub fn run_until_admitted(
+    mu_true: f64,
+    prior: FaultRatePosterior,
+    rule: &StoppingRule,
+    chunk: f64,
+    max_exposure: f64,
+    rng: &mut SimRng,
+) -> Result<CampaignOutcome> {
+    if !(chunk > 0.0) || !chunk.is_finite() {
+        return Err(performability::PerfError::InvalidParameter {
+            name: "chunk",
+            value: chunk,
+            expected: "finite and > 0",
+        });
+    }
+    let mut posterior = prior;
+    let mut exposure = 0.0;
+    let mut faults = 0u64;
+    while exposure < max_exposure {
+        if rule.satisfied(&posterior) {
+            return Ok(CampaignOutcome {
+                posterior,
+                exposure,
+                faults,
+                admitted: true,
+            });
+        }
+        let window = chunk.min(max_exposure - exposure);
+        let log = simulate_validation(mu_true, window, rng);
+        faults += log.fault_count();
+        posterior = log.update(posterior)?;
+        exposure += window;
+    }
+    let admitted = rule.satisfied(&posterior);
+    Ok(CampaignOutcome {
+        posterior,
+        exposure,
+        faults,
+        admitted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_count_tracks_rate() {
+        let mut rng = SimRng::from_seed(5);
+        let mu = 1e-3;
+        let duration = 1e6;
+        let log = simulate_validation(mu, duration, &mut rng);
+        let expected = mu * duration; // 1000
+        let got = log.fault_count() as f64;
+        assert!((got - expected).abs() < 4.0 * expected.sqrt(), "{got}");
+        assert!(log.manifestation_times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(log.manifestation_times.iter().all(|&t| t < duration));
+    }
+
+    #[test]
+    fn zero_rate_never_manifests() {
+        let mut rng = SimRng::from_seed(1);
+        let log = simulate_validation(0.0, 1e9, &mut rng);
+        assert_eq!(log.fault_count(), 0);
+    }
+
+    #[test]
+    fn update_applies_conjugacy() {
+        let mut rng = SimRng::from_seed(2);
+        let log = simulate_validation(1e-2, 1000.0, &mut rng);
+        let prior = FaultRatePosterior::weakly_informative(1e-3).unwrap();
+        let post = log.update(prior).unwrap();
+        assert_eq!(post.shape, prior.shape + log.fault_count() as f64);
+        assert_eq!(post.rate, prior.rate + 1000.0);
+    }
+
+    #[test]
+    fn reliable_software_gets_admitted() {
+        // True rate well below the target: the campaign should admit within
+        // a reasonable budget.
+        let mut rng = SimRng::from_seed(7);
+        let rule = StoppingRule::new(1e-4, 0.9).unwrap();
+        let prior = FaultRatePosterior::weakly_informative(1e-4).unwrap();
+        let outcome =
+            run_until_admitted(1e-6, prior, &rule, 5_000.0, 200_000.0, &mut rng).unwrap();
+        assert!(outcome.admitted, "{outcome:?}");
+        assert!(outcome.posterior.probability_below(1e-4) >= 0.9);
+        assert!(outcome.exposure <= 200_000.0);
+    }
+
+    #[test]
+    fn buggy_software_fails_admission() {
+        // True rate 100× the target: the posterior concentrates above the
+        // target and the rule keeps refusing.
+        let mut rng = SimRng::from_seed(9);
+        let rule = StoppingRule::new(1e-4, 0.9).unwrap();
+        let prior = FaultRatePosterior::weakly_informative(1e-4).unwrap();
+        let outcome =
+            run_until_admitted(1e-2, prior, &rule, 2_000.0, 50_000.0, &mut rng).unwrap();
+        assert!(!outcome.admitted, "{outcome:?}");
+        assert!(outcome.faults > 100);
+        assert!(outcome.posterior.mean() > 1e-3);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let rule = StoppingRule::new(1e-4, 0.8).unwrap();
+        let prior = FaultRatePosterior::weakly_informative(1e-4).unwrap();
+        let mut a = SimRng::from_seed(11);
+        let mut b = SimRng::from_seed(11);
+        let oa = run_until_admitted(5e-5, prior, &rule, 1_000.0, 30_000.0, &mut a).unwrap();
+        let ob = run_until_admitted(5e-5, prior, &rule, 1_000.0, 30_000.0, &mut b).unwrap();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn invalid_chunk_rejected() {
+        let rule = StoppingRule::new(1e-4, 0.9).unwrap();
+        let prior = FaultRatePosterior::weakly_informative(1e-4).unwrap();
+        let mut rng = SimRng::from_seed(1);
+        assert!(run_until_admitted(1e-5, prior, &rule, 0.0, 1e4, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Event traces — the simulator's "onboard error log".
+//!
+//! The MDCD design maintains an onboard log that ground operators download
+//! to understand what the protocol did (paper §2). The traced engine
+//! records the same story for a simulated mission: every protocol-relevant
+//! event with its timestamp, renderable as a human-readable log and
+//! queryable by the tests.
+
+use std::fmt;
+
+use crate::engine::RunOutcome;
+use crate::{SimConfig, SimRng};
+
+/// One protocol event in a simulated mission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A fault manifested in a process (0 = P1new, 1 = P1old, 2 = P2).
+    FaultManifested {
+        /// Simulation time (hours).
+        time: f64,
+        /// Process index.
+        process: usize,
+    },
+    /// An acceptance test started.
+    AcceptanceTestStarted {
+        /// Simulation time (hours).
+        time: f64,
+        /// Process whose message is validated.
+        process: usize,
+    },
+    /// A checkpoint establishment started.
+    CheckpointStarted {
+        /// Simulation time (hours).
+        time: f64,
+        /// Process being checkpointed.
+        process: usize,
+    },
+    /// An error was detected; recovery/downgrade follows.
+    ErrorDetected {
+        /// Simulation time (hours).
+        time: f64,
+    },
+    /// The system failed (undetected erroneous external message).
+    SystemFailed {
+        /// Simulation time (hours).
+        time: f64,
+    },
+    /// Guarded operation concluded without error at φ.
+    GuardConcluded {
+        /// Simulation time (hours).
+        time: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::FaultManifested { time, .. }
+            | TraceEvent::AcceptanceTestStarted { time, .. }
+            | TraceEvent::CheckpointStarted { time, .. }
+            | TraceEvent::ErrorDetected { time }
+            | TraceEvent::SystemFailed { time }
+            | TraceEvent::GuardConcluded { time } => time,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 3] = ["P1new", "P1old", "P2"];
+        let name = |p: usize| NAMES.get(p).copied().unwrap_or("?");
+        match *self {
+            TraceEvent::FaultManifested { time, process } => {
+                write!(f, "[{time:12.4}] fault manifested in {}", name(process))
+            }
+            TraceEvent::AcceptanceTestStarted { time, process } => {
+                write!(f, "[{time:12.4}] acceptance test on {} message", name(process))
+            }
+            TraceEvent::CheckpointStarted { time, process } => {
+                write!(f, "[{time:12.4}] checkpoint of {}", name(process))
+            }
+            TraceEvent::ErrorDetected { time } => {
+                write!(f, "[{time:12.4}] ERROR DETECTED — downgrading to P1old")
+            }
+            TraceEvent::SystemFailed { time } => {
+                write!(f, "[{time:12.4}] SYSTEM FAILURE")
+            }
+            TraceEvent::GuardConcluded { time } => {
+                write!(f, "[{time:12.4}] guarded operation concluded; upgrade committed")
+            }
+        }
+    }
+}
+
+/// A mission trace: the outcome plus the condensed event log.
+///
+/// Built by [`simulate_run_traced`]. Message sends themselves are not
+/// logged (there are millions); only safeguard and dependability events
+/// appear, which is also what a real onboard log would record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionTrace {
+    /// The run's outcome (identical to the untraced engine's).
+    pub outcome: RunOutcome,
+    /// Chronological protocol events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl MissionTrace {
+    /// Events of a given kind-discriminating predicate.
+    pub fn events_where<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| pred(e)).collect()
+    }
+
+    /// Renders the log like a downloaded onboard error log.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+}
+
+/// Runs the event-exact engine with instrumentation, collecting the full
+/// protocol event log.
+///
+/// Note the log grows with `λ·φ` (one entry per AT/checkpoint); use
+/// scaled-down parameters or short windows when tracing, exactly as a real
+/// onboard log would be bounded.
+pub fn simulate_run_traced(config: &SimConfig, seed: u64) -> MissionTrace {
+    let mut rng = SimRng::from_seed(seed);
+    let mut events = Vec::new();
+    let outcome = crate::engine::simulate_run_with_log(config, &mut rng, &mut events);
+    MissionTrace { outcome, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performability::GsuParams;
+
+    fn small_params() -> GsuParams {
+        GsuParams {
+            theta: 50.0,
+            lambda: 40.0,
+            mu_new: 0.05,
+            mu_old: 1e-7,
+            coverage: 0.95,
+            p_ext: 0.1,
+            alpha: 200.0,
+            beta: 200.0,
+        }
+    }
+
+    #[test]
+    fn trace_outcome_matches_untraced_run() {
+        let cfg = SimConfig::new(small_params(), 30.0).unwrap();
+        for seed in 0..50 {
+            let traced = simulate_run_traced(&cfg, seed);
+            let mut rng = SimRng::from_seed(seed);
+            let plain = crate::simulate_run(&cfg, &mut rng);
+            assert_eq!(traced.outcome, plain);
+        }
+    }
+
+    #[test]
+    fn safeguard_events_match_outcome_counters() {
+        let cfg = SimConfig::new(small_params(), 30.0).unwrap();
+        for seed in 0..20 {
+            let t = simulate_run_traced(&cfg, seed);
+            let ats = t
+                .events_where(|e| matches!(e, TraceEvent::AcceptanceTestStarted { .. }))
+                .len() as u64;
+            let ckpts = t
+                .events_where(|e| matches!(e, TraceEvent::CheckpointStarted { .. }))
+                .len() as u64;
+            assert_eq!(ats, t.outcome.at_count);
+            assert_eq!(ckpts, t.outcome.checkpoint_count);
+        }
+    }
+
+    #[test]
+    fn detection_is_preceded_by_a_fault() {
+        let cfg = SimConfig::new(small_params(), 45.0).unwrap();
+        for seed in 0..60 {
+            let t = simulate_run_traced(&cfg, seed);
+            if let Some(det) = t.outcome.detection_time {
+                let fault_before = t.events.iter().any(|e| {
+                    matches!(e, TraceEvent::FaultManifested { time, .. } if *time <= det)
+                });
+                assert!(fault_before, "detection without a prior fault: {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_event_matches_class() {
+        let cfg = SimConfig::new(small_params(), 40.0).unwrap();
+        for seed in 0..100 {
+            let t = simulate_run_traced(&cfg, seed);
+            match t.outcome.class {
+                crate::PathClass::S1 => {
+                    assert!(t
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::GuardConcluded { .. })));
+                }
+                crate::PathClass::S2 => {
+                    assert!(t
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::ErrorDetected { .. })));
+                    assert!(!t
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::SystemFailed { .. })));
+                }
+                crate::PathClass::S3 => {
+                    assert!(t
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::SystemFailed { .. })));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_chronological() {
+        let cfg = SimConfig::new(small_params(), 45.0).unwrap();
+        for seed in 0..50 {
+            let t = simulate_run_traced(&cfg, seed);
+            for w in t.events.windows(2) {
+                assert!(w[0].time() <= w[1].time());
+            }
+        }
+    }
+
+    #[test]
+    fn render_produces_one_line_per_event() {
+        let cfg = SimConfig::new(small_params(), 30.0).unwrap();
+        let t = simulate_run_traced(&cfg, 3);
+        let log = t.render();
+        assert_eq!(log.lines().count(), t.events.len());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let cases = [
+            TraceEvent::FaultManifested { time: 1.0, process: 0 },
+            TraceEvent::AcceptanceTestStarted { time: 2.0, process: 2 },
+            TraceEvent::CheckpointStarted { time: 3.0, process: 1 },
+            TraceEvent::ErrorDetected { time: 4.0 },
+            TraceEvent::SystemFailed { time: 5.0 },
+            TraceEvent::GuardConcluded { time: 6.0 },
+        ];
+        let rendered: Vec<String> = cases.iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].contains("P1new"));
+        assert!(rendered[1].contains("P2"));
+        assert!(rendered[2].contains("P1old"));
+        assert!(rendered[3].contains("DETECTED"));
+        assert!(rendered[4].contains("FAILURE"));
+        assert!(rendered[5].contains("concluded"));
+        assert_eq!(cases[3].time(), 4.0);
+    }
+}

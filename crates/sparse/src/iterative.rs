@@ -1,0 +1,322 @@
+//! Iterative solvers for sparse linear systems `A·x = b`.
+//!
+//! These are the classical stationary methods (Jacobi, Gauss–Seidel, SOR)
+//! that UltraSAN-era tools used for steady-state reward model solution. The
+//! `markov` crate builds its steady-state solvers on top of these; they are
+//! exposed here so benchmarks can compare them directly (see the
+//! `ablation_steady` bench).
+
+use crate::{CsrMatrix, LinAlgError, Result};
+
+/// Options controlling an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterOptions {
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the ∞-norm of successive iterates'
+    /// difference.
+    pub tolerance: f64,
+    /// Relaxation factor for SOR (ignored by Jacobi / Gauss–Seidel);
+    /// `1.0` reduces SOR to Gauss–Seidel.
+    pub relaxation: f64,
+}
+
+impl Default for IterOptions {
+    fn default() -> Self {
+        IterOptions {
+            max_iterations: 10_000,
+            tolerance: 1e-12,
+            relaxation: 1.0,
+        }
+    }
+}
+
+/// Convergence report returned together with the solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final ∞-norm difference between successive iterates.
+    pub final_delta: f64,
+}
+
+/// Solves `A·x = b` by Jacobi iteration, starting from `x0`.
+///
+/// # Errors
+///
+/// * [`LinAlgError::NotSquare`] when `A` is not square.
+/// * [`LinAlgError::Singular`] when a diagonal entry is zero.
+/// * [`LinAlgError::NotConverged`] when the tolerance is not met within the
+///   iteration budget.
+pub fn jacobi(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: &IterOptions,
+) -> Result<(Vec<f64>, Convergence)> {
+    check_square(a, b, x0)?;
+    let n = a.rows();
+    let diag = checked_diagonal(a)?;
+    let mut x = x0.to_vec();
+    let mut x_next = vec![0.0; n];
+    let mut delta = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, v) in a.row(r) {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            x_next[r] = acc / diag[r];
+        }
+        delta = crate::vector::diff_norm_inf(&x, &x_next);
+        std::mem::swap(&mut x, &mut x_next);
+        if delta <= opts.tolerance {
+            return Ok((
+                x,
+                Convergence {
+                    iterations: it,
+                    final_delta: delta,
+                },
+            ));
+        }
+    }
+    Err(LinAlgError::NotConverged {
+        iterations: opts.max_iterations,
+        residual: delta,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Solves `A·x = b` by Gauss–Seidel iteration, starting from `x0`.
+///
+/// # Errors
+///
+/// Same failure modes as [`jacobi`].
+pub fn gauss_seidel(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: &IterOptions,
+) -> Result<(Vec<f64>, Convergence)> {
+    let mut o = opts.clone();
+    o.relaxation = 1.0;
+    sor(a, b, x0, &o)
+}
+
+/// Solves `A·x = b` by successive over-relaxation, starting from `x0`.
+///
+/// With `opts.relaxation == 1.0` this is exactly Gauss–Seidel.
+///
+/// # Errors
+///
+/// Same failure modes as [`jacobi`], plus [`LinAlgError::InvalidValue`] when
+/// the relaxation factor is outside `(0, 2)`.
+pub fn sor(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: &IterOptions,
+) -> Result<(Vec<f64>, Convergence)> {
+    check_square(a, b, x0)?;
+    if !(opts.relaxation > 0.0 && opts.relaxation < 2.0) {
+        return Err(LinAlgError::InvalidValue {
+            context: format!(
+                "SOR relaxation factor {} outside (0, 2)",
+                opts.relaxation
+            ),
+        });
+    }
+    let n = a.rows();
+    let diag = checked_diagonal(a)?;
+    let omega = opts.relaxation;
+    let mut x = x0.to_vec();
+    let mut delta = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        delta = 0.0;
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, v) in a.row(r) {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            let gs = acc / diag[r];
+            let new = (1.0 - omega) * x[r] + omega * gs;
+            delta = delta.max((new - x[r]).abs());
+            x[r] = new;
+        }
+        if delta <= opts.tolerance {
+            return Ok((
+                x,
+                Convergence {
+                    iterations: it,
+                    final_delta: delta,
+                },
+            ));
+        }
+    }
+    Err(LinAlgError::NotConverged {
+        iterations: opts.max_iterations,
+        residual: delta,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Residual `‖A·x − b‖∞` — useful for verifying any solver's output.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn residual_inf(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.mul_vec(x);
+    crate::vector::diff_norm_inf(&ax, b)
+}
+
+fn check_square(a: &CsrMatrix, b: &[f64], x0: &[f64]) -> Result<()> {
+    if a.rows() != a.cols() {
+        return Err(LinAlgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if b.len() != a.rows() || x0.len() != a.rows() {
+        return Err(LinAlgError::DimensionMismatch {
+            context: "iterative solve right-hand side / initial guess".to_string(),
+            expected: (a.rows(), 1),
+            found: (b.len(), x0.len()),
+        });
+    }
+    Ok(())
+}
+
+fn checked_diagonal(a: &CsrMatrix) -> Result<Vec<f64>> {
+    let diag = a.diagonal();
+    for (i, d) in diag.iter().enumerate() {
+        if *d == 0.0 || !d.is_finite() {
+            return Err(LinAlgError::Singular { pivot: i });
+        }
+    }
+    Ok(diag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+    use proptest::prelude::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Tridiagonal [−1, 2, −1]: symmetric positive definite, so all three
+        // methods converge.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn jacobi_solves_spd_system() {
+        let a = laplacian_1d(8);
+        let b = vec![1.0; 8];
+        let (x, conv) = jacobi(&a, &b, &vec![0.0; 8], &IterOptions::default()).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-9);
+        assert!(conv.iterations > 1);
+    }
+
+    #[test]
+    fn gauss_seidel_faster_than_jacobi() {
+        let a = laplacian_1d(8);
+        let b = vec![1.0; 8];
+        let opts = IterOptions::default();
+        let (_, cj) = jacobi(&a, &b, &vec![0.0; 8], &opts).unwrap();
+        let (_, cg) = gauss_seidel(&a, &b, &vec![0.0; 8], &opts).unwrap();
+        assert!(cg.iterations < cj.iterations);
+    }
+
+    #[test]
+    fn sor_with_good_omega_beats_gauss_seidel() {
+        let a = laplacian_1d(16);
+        let b = vec![1.0; 16];
+        let mut opts = IterOptions::default();
+        let (_, cg) = gauss_seidel(&a, &b, &vec![0.0; 16], &opts).unwrap();
+        opts.relaxation = 1.6;
+        let (x, cs) = sor(&a, &b, &vec![0.0; 16], &opts).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-9);
+        assert!(cs.iterations < cg.iterations);
+    }
+
+    #[test]
+    fn zero_diagonal_is_singular() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = coo.to_csr();
+        let r = gauss_seidel(&a, &[1.0, 1.0], &[0.0, 0.0], &IterOptions::default());
+        assert!(matches!(r, Err(LinAlgError::Singular { .. })));
+    }
+
+    #[test]
+    fn divergent_system_reports_not_converged() {
+        // Jacobi diverges when the matrix is not diagonally dominant enough:
+        // [[1, 2], [3, 1]] has spectral radius of iteration matrix > 1.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 3.0);
+        coo.push(1, 1, 1.0);
+        let a = coo.to_csr();
+        let mut opts = IterOptions::default();
+        opts.max_iterations = 50;
+        let r = jacobi(&a, &[1.0, 1.0], &[0.0, 0.0], &opts);
+        assert!(matches!(r, Err(LinAlgError::NotConverged { .. })));
+    }
+
+    #[test]
+    fn bad_relaxation_rejected() {
+        let a = laplacian_1d(3);
+        let mut opts = IterOptions::default();
+        opts.relaxation = 2.5;
+        let r = sor(&a, &[1.0; 3], &[0.0; 3], &opts);
+        assert!(matches!(r, Err(LinAlgError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = laplacian_1d(3);
+        let r = jacobi(&a, &[1.0; 2], &[0.0; 3], &IterOptions::default());
+        assert!(matches!(r, Err(LinAlgError::DimensionMismatch { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn methods_agree_on_dominant_systems(
+            offdiag in proptest::collection::vec(-0.2..0.2f64, 16),
+            b in proptest::collection::vec(-5.0..5.0f64, 4),
+        ) {
+            // Build a strictly diagonally dominant 4x4 matrix.
+            let mut coo = CooMatrix::new(4, 4);
+            for r in 0..4 {
+                for c in 0..4 {
+                    if r == c {
+                        coo.push(r, c, 2.0);
+                    } else {
+                        coo.push(r, c, offdiag[r * 4 + c]);
+                    }
+                }
+            }
+            let a = coo.to_csr();
+            let opts = IterOptions::default();
+            let (xj, _) = jacobi(&a, &b, &[0.0; 4], &opts).unwrap();
+            let (xg, _) = gauss_seidel(&a, &b, &[0.0; 4], &opts).unwrap();
+            prop_assert!(crate::vector::diff_norm_inf(&xj, &xg) < 1e-8);
+            prop_assert!(residual_inf(&a, &xj, &b) < 1e-8);
+        }
+    }
+}

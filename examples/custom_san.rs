@@ -1,0 +1,93 @@
+//! Using the general SAN toolkit beyond the GSU study: a duplex
+//! fault-tolerant controller with imperfect coverage and repair, modelled as
+//! a stochastic activity network and solved with the three UltraSAN-style
+//! reward variables.
+//!
+//! System: two redundant controllers. Faults arrive per controller; a fault
+//! is caught by the voter with probability `coverage` (the failed unit goes
+//! to repair) and otherwise crashes the *system* (absorbing until a system
+//! reboot). One repair crew; repaired units rejoin.
+//!
+//! Run with: `cargo run --release --example custom_san`
+
+use guarded_upgrade::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fault_rate = 0.02; // per controller-hour
+    let repair_rate = 0.5; // repairs per hour
+    let reboot_rate = 0.1; // system reboots per hour
+    let coverage = 0.98;
+
+    let mut m = SanModel::new("duplex-controller");
+    let up = m.add_place("up", 2); // healthy controllers
+    let repairing = m.add_place("repairing", 0); // units at the repair crew
+    let crashed = m.add_place("crashed", 0); // uncovered system crash
+
+    // A fault on any healthy unit: rate scales with the number of
+    // operational units (marking-dependent rate), with two probabilistic
+    // cases for covered / uncovered outcomes.
+    let og_crash = m.add_output_gate("crash", move |mk| {
+        mk.set_tokens(crashed, 1);
+    });
+    m.add_activity(
+        Activity::timed_fn("fault", move |mk| fault_rate * mk.tokens(up) as f64)
+            .with_enabling(move |mk| mk.tokens(crashed) == 0 && mk.tokens(up) > 0)
+            .with_input_arc(up, 1)
+            .with_case(Case::with_probability(coverage).with_output_arc(repairing, 1))
+            .with_case(Case::with_probability(1.0 - coverage).with_output_gate(og_crash)),
+    )?;
+    // Single repair crew: fixed rate regardless of queue length.
+    m.add_activity(
+        Activity::timed("repair", repair_rate)
+            .with_enabling(move |mk| mk.tokens(crashed) == 0)
+            .with_input_arc(repairing, 1)
+            .with_output_arc(up, 1),
+    )?;
+    // A crash loses the in-repair units too: reboot restores the full
+    // duplex.
+    let og_reboot = m.add_output_gate("reboot", move |mk| {
+        mk.set_tokens(crashed, 0);
+        mk.set_tokens(repairing, 0);
+        mk.set_tokens(up, 2);
+    });
+    m.add_activity(
+        Activity::timed("reboot", reboot_rate)
+            .with_enabling(move |mk| mk.tokens(crashed) == 1)
+            .with_output_gate(og_reboot),
+    )?;
+
+    println!("{m}");
+    let analyzer = Analyzer::generate(&m, &Default::default())?;
+    println!(
+        "tangible state space: {} states",
+        analyzer.state_space().n_states()
+    );
+
+    // Reward variable 1: instant-of-time availability (≥1 controller up,
+    // not crashed).
+    let available =
+        RewardSpec::new().rate_when(move |mk| mk.tokens(up) >= 1 && mk.tokens(crashed) == 0, 1.0);
+    println!("\navailability over time:");
+    for t in [1.0, 10.0, 100.0] {
+        println!("  A({t:>5}) = {:.6}", analyzer.instant_reward(&available, t)?);
+    }
+    let steady = analyzer.steady_reward(&available)?;
+    println!("  A(∞)    = {steady:.6}");
+
+    // Reward variable 2: accumulated downtime over a 1000-hour mission.
+    let downtime =
+        RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 0 || mk.tokens(crashed) == 1, 1.0);
+    let hours = analyzer.accumulated_reward(&downtime, 1000.0)?;
+    println!("\nexpected downtime over 1000 h: {hours:.3} h");
+
+    // Reward variable 3: steady-state performance level — a degradable
+    // "reward rate" of 1.0 duplex / 0.6 simplex / 0 crashed.
+    let perf = RewardSpec::new()
+        .rate_when(move |mk| mk.tokens(up) == 2, 1.0)
+        .rate_when(move |mk| mk.tokens(up) == 1 && mk.tokens(crashed) == 0, 0.6);
+    println!(
+        "steady-state performance level: {:.4} (1.0 = full duplex)",
+        analyzer.steady_reward(&perf)?
+    );
+    Ok(())
+}

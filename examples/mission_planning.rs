@@ -1,0 +1,72 @@
+//! Mission-planning scenario: decide how long to escort an in-flight
+//! software upgrade, for two candidate upgrade maturities and two mission
+//! phases.
+//!
+//! A flight-software team has a new attitude-control component ready. The
+//! onboard-validation phase produced two possible quality estimates
+//! (fault-manifestation rates), and mission planning is considering both a
+//! long cruise phase (θ = 10000 h) and a shorter one before an encounter
+//! (θ = 5000 h). For each combination the team wants the optimal guarded
+//! duration φ*, the achievable degradation reduction Y, and whether the
+//! guard is worth its overhead at all.
+//!
+//! Run with: `cargo run --release --example mission_planning`
+
+use guarded_upgrade::prelude::*;
+
+fn main() -> Result<(), PerfError> {
+    let base = GsuParams::paper_baseline();
+
+    println!("candidate upgrade maturities and mission phases:");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>14}",
+        "θ (h)", "µnew", "φ* (h)", "Y(φ*)", "P(S1) @ φ*", "recommend?"
+    );
+
+    for theta in [10_000.0, 5_000.0] {
+        for mu_new in [1e-4, 5e-5] {
+            let params = base.with_theta(theta)?.with_mu_new(mu_new)?;
+            let analysis = GsuAnalysis::new(params)?;
+            let best = analysis.optimal_phi(20, 16)?;
+            // Probability the upgrade completes without any error.
+            let p_s1 = best.measures.p_a1_gop * best.measures.p_a1_norm_rem;
+            // A guard is recommended when it reduces expected degradation
+            // by a meaningful margin (here: 5%).
+            let recommend = if best.y > 1.05 {
+                format!("guard {:.0} h", best.phi)
+            } else {
+                "skip the guard".to_string()
+            };
+            println!(
+                "{:>10.0} {:>10.0e} {:>10.0} {:>10.4} {:>12.4} {:>14}",
+                theta, mu_new, best.phi, best.y, p_s1, recommend
+            );
+        }
+    }
+
+    // Sensitivity: how much does getting φ wrong cost?
+    println!("\nsensitivity of Y to mis-chosen φ (θ=10000, µnew=1e-4):");
+    let analysis = GsuAnalysis::new(base)?;
+    let best = analysis.optimal_phi(20, 16)?;
+    for factor in [0.25, 0.5, 1.0, 1.5] {
+        let phi = (best.phi * factor).min(base.theta);
+        let point = analysis.evaluate(phi)?;
+        println!(
+            "  φ = {:>7.0} ({}x φ*): Y = {:.4} ({:+.1}% vs optimum)",
+            phi,
+            factor,
+            point.y,
+            (point.y / best.y - 1.0) * 100.0
+        );
+    }
+
+    // What the escort actually costs: worth accounting at the optimum.
+    let pt = analysis.evaluate(best.phi)?;
+    println!("\nworth accounting at φ* = {:.0}:", best.phi);
+    println!("  ideal mission worth        2θ     = {:.0} process-hours", 2.0 * base.theta);
+    println!("  expected worth, unguarded  E[W0]  = {:.0}", pt.e_w0);
+    println!("  expected worth, guarded    E[Wφ]  = {:.0}", pt.e_w_phi);
+    println!("    from successful upgrades (S1)   = {:.0}", pt.y_s1);
+    println!("    from safe downgrades     (S2)   = {:.0} (discount γ = {:.3})", pt.y_s2, pt.gamma);
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! The full guarded-software-upgrading lifecycle of the paper's Figure 1,
+//! end to end:
+//!
+//! 1. **Onboard validation** (shadow-mode execution): the new version's
+//!    error log drives Bayesian estimation of its fault-manifestation rate,
+//!    with a Littlewood–Wright stopping rule deciding when (whether) the
+//!    upgrade may enter mission operation.
+//! 2. **Duration decision**: the posterior feeds the performability
+//!    pipeline — plug-in, posterior-predictive, and robust (upper-credible)
+//!    optimal guarded-operation durations.
+//! 3. **Guarded operation**: the chosen φ is played out in the MDCD
+//!    protocol simulator to estimate the realized mission worth.
+//!
+//! Run with: `cargo run --release --example upgrade_campaign`
+
+use guarded_upgrade::prelude::*;
+use mdcd_sim::shadow;
+use performability::validation::{
+    posterior_predictive_y, robust_optimal_phi, FaultRatePosterior, StoppingRule,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The flight software team's ground truth (unknown to the analyst):
+    let mu_true = 8e-5;
+
+    // --- Stage 1: onboard validation ---------------------------------------
+    println!("=== Stage 1: onboard validation (shadow mode) ===");
+    let prior = FaultRatePosterior::weakly_informative(1e-4)?;
+    let rule = StoppingRule::new(2e-4, 0.95)?;
+    let mut rng = SimRng::from_seed(2026);
+    let outcome =
+        shadow::run_until_admitted(mu_true, prior, &rule, 2_500.0, 40_000.0, &mut rng)?;
+    println!(
+        "observed {} manifestation(s) over {:.0} h of shadow execution",
+        outcome.faults, outcome.exposure
+    );
+    println!(
+        "posterior: mean µ = {:.2e}, 90% credible upper bound = {:.2e}",
+        outcome.posterior.mean(),
+        outcome.posterior.quantile(0.9)
+    );
+    println!(
+        "stopping rule P[µ ≤ {:.0e}] ≥ {:.0}%: {}",
+        rule.target_rate,
+        rule.confidence * 100.0,
+        if outcome.admitted { "ADMITTED to mission operation" } else { "REFUSED" }
+    );
+    if !outcome.admitted {
+        println!("upgrade rejected — mission continues on the old version");
+        return Ok(());
+    }
+
+    // --- Stage 2: guarded-operation duration decision ----------------------
+    println!("\n=== Stage 2: choosing the guarded-operation duration ===");
+    let base = GsuParams::paper_baseline();
+    let plugin_params = base.with_mu_new(outcome.posterior.mean())?;
+    let plugin = GsuAnalysis::new(plugin_params)?.optimal_phi(10, 12)?;
+    println!(
+        "plug-in (posterior mean):      φ* = {:>6.0} h, Y = {:.4}",
+        plugin.phi, plugin.y
+    );
+    let robust = robust_optimal_phi(&outcome.posterior, base, 0.9, 10, 12)?;
+    println!(
+        "robust (90th-pct rate):        φ* = {:>6.0} h, Y = {:.4}",
+        robust.phi, robust.y
+    );
+    let predictive = posterior_predictive_y(&outcome.posterior, base, plugin.phi, 8)?;
+    println!(
+        "posterior-predictive Y at the plug-in φ*: {predictive:.4} \
+         (uncertainty-averaged benefit)"
+    );
+
+    // --- Stage 3: guarded operation -----------------------------------------
+    println!("\n=== Stage 3: guarded operation under the MDCD protocol ===");
+    let phi = robust.phi; // fly the conservative choice
+    let cfg = SimConfig::new(base.with_mu_new(mu_true)?, phi)?;
+    let summary = MonteCarlo::new(cfg)
+        .with_replications(4000)
+        .with_seed(99)
+        .run();
+    println!(
+        "flying φ = {:.0} h against the true rate {:.0e}:",
+        phi, mu_true
+    );
+    println!(
+        "  upgrade succeeds (S1): {:.1}%   safe downgrade (S2): {:.1}%   failure: {:.1}%",
+        summary.p_s1 * 100.0,
+        summary.p_s2 * 100.0,
+        summary.p_s3 * 100.0
+    );
+    println!(
+        "  realized mission worth: {:.0} ± {:.0} of an ideal {:.0} process-hours",
+        summary.mean_worth,
+        summary.worth_half_width_95,
+        2.0 * base.theta
+    );
+    Ok(())
+}
