@@ -44,22 +44,24 @@ fn ablation_uniformization(c: &mut Criterion) {
     let chain = markov::Ctmc::from_transitions(2, [(0, 1, 100.0), (1, 0, 150.0)]).unwrap();
     let pi0 = [1.0, 0.0];
     for &t in &[1.0, 100.0, 10_000.0] {
-        let mut uni = Options::default();
-        uni.method = Method::Uniformization;
-        uni.max_uniformization_steps = 100_000_000;
-        uni.steady_state_detection = false;
-        let mut exp = Options::default();
-        exp.method = Method::MatrixExponential;
+        let uni = Options {
+            method: Method::Uniformization,
+            max_uniformization_steps: 100_000_000,
+            steady_state_detection: false,
+            ..Default::default()
+        };
+        let exp = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::new("uniformization", (t * 250.0) as u64),
             &t,
             |b, &t| b.iter(|| transient::distribution(&chain, &pi0, t, &uni).unwrap()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("expm", (t * 250.0) as u64),
-            &t,
-            |b, &t| b.iter(|| transient::distribution(&chain, &pi0, t, &exp).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("expm", (t * 250.0) as u64), &t, |b, &t| {
+            b.iter(|| transient::distribution(&chain, &pi0, t, &exp).unwrap())
+        });
     }
     // Fox–Glynn window versus naive per-term pmf evaluation over the window.
     for &lambda in &[1e3, 1e5] {

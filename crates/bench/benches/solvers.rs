@@ -26,11 +26,15 @@ fn bench_transient_engines(c: &mut Criterion) {
     let pi0 = chain.point_distribution(0);
     // Λt spans non-stiff to stiff.
     for &t in &[10.0, 1000.0, 100_000.0] {
-        let mut uni = Options::default();
-        uni.method = Method::Uniformization;
-        uni.max_uniformization_steps = 100_000_000;
-        let mut exp = Options::default();
-        exp.method = Method::MatrixExponential;
+        let uni = Options {
+            method: Method::Uniformization,
+            max_uniformization_steps: 100_000_000,
+            ..Default::default()
+        };
+        let exp = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("uniformization", t as u64), &t, |b, &t| {
             b.iter(|| transient::distribution(&chain, &pi0, t, &uni).unwrap())
         });

@@ -18,13 +18,15 @@ use mdcd_sim::estimate_y;
 use performability::{GammaPolicy, GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     banner(
         "ablation: ∫τh censoring & γ policy",
         "Table-1 reward structure vs exact first-passage moments (θ=10000)",
     );
     let params = GsuParams::paper_baseline();
     let paper = GsuAnalysis::new(params)?;
-    let exact = GsuAnalysis::new(params)?.with_gamma_policy(GammaPolicy::ExactMeanDetectionFraction);
+    let exact =
+        GsuAnalysis::new(params)?.with_gamma_policy(GammaPolicy::ExactMeanDetectionFraction);
 
     println!(
         "{:>8} {:>14} {:>14} {:>10} | {:>10} {:>10} {:>12}",
@@ -45,12 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let best_paper = Curve::sweep("paper", &paper, 20)?;
     let best_exact = Curve::sweep("exact", &exact, 20)?;
+    let bp = best_paper.best().expect("swept curve is non-empty");
+    let be = best_exact.best().expect("swept curve is non-empty");
     println!(
         "\noptima: paper-γ at φ = {} (Y = {:.4}); exact-γ at φ = {} (Y = {:.4})",
-        best_paper.best().phi,
-        best_paper.best().y,
-        best_exact.best().phi,
-        best_exact.best().y
+        bp.phi, bp.y, be.phi, be.y
     );
     println!("(the paper's published optimum of 7000 emerges only under its own γ reading)");
     Ok(())

@@ -7,6 +7,7 @@ use performability::GsuParams;
 use san::{dot, StateSpace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     gsu_bench::banner(
         "Model export",
         "GSU SAN models (Figs. 6-8) and state spaces as Graphviz DOT",

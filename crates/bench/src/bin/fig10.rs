@@ -6,7 +6,9 @@
 //! ρ2 = 0.95) against α = β = 2500 (1440 ms ⇒ ρ1 = 0.95, ρ2 = 0.90); the
 //! optimum moves from 7000 down to 6000 h.
 
-use gsu_bench::{ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs};
+use gsu_bench::{
+    ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs, TelemetrySession,
+};
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Effect of performance overhead on optimal G-OP duration (θ=10000)",
     );
     let args = ExperimentArgs::parse(10);
+    let _telemetry = TelemetrySession::new(&args.out_dir);
     let base = GsuParams::paper_baseline();
     let fast = GsuAnalysis::new(base)?;
     let slow = GsuAnalysis::new(base.with_overhead_rates(2500.0, 2500.0)?)?;
@@ -33,8 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", curve_table(&curves));
     println!("{}", ascii_chart(&curves, 18));
     for c in &curves {
-        let b = c.best();
-        println!("{}: optimal φ = {} with Y = {:.4}  (paper: 7000 / 6000)", c.label, b.phi, b.y);
+        let b = c.best().expect("swept curve is non-empty");
+        println!(
+            "{}: optimal φ = {} with Y = {:.4}  (paper: 7000 / 6000)",
+            c.label, b.phi, b.y
+        );
     }
     write_csv(&args.csv_path("fig10.csv"), &curves)?;
     println!("\nwrote {}", args.csv_path("fig10.csv").display());

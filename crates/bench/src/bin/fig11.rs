@@ -6,7 +6,9 @@
 //! while the maximum Y collapses from ≈1.45 to ≈1.15 — the optimum is
 //! insensitive to c but the *benefit* is very sensitive to it.
 
-use gsu_bench::{ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs};
+use gsu_bench::{
+    ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs, TelemetrySession,
+};
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Effect of AT coverage on optimal G-OP duration (θ=10000)",
     );
     let args = ExperimentArgs::parse(10);
+    let _telemetry = TelemetrySession::new(&args.out_dir);
     let base = GsuParams::paper_baseline().with_overhead_rates(2500.0, 2500.0)?;
     let mut curves = Vec::new();
     for c in [0.95, 0.75, 0.50] {
@@ -25,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", curve_table(&curves));
     println!("{}", ascii_chart(&curves, 18));
     for c in &curves {
-        let b = c.best();
+        let b = c.best().expect("swept curve is non-empty");
         println!("{}: optimal φ = {} with max Y = {:.4}", c.label, b.phi, b.y);
     }
     println!("(paper: optimum stays at 6000 for all three; max Y ≈ 1.45 → ≈1.15)");

@@ -7,7 +7,9 @@
 //! θ = 10000 study — a shorter exposure window favours ending the guard
 //! earlier.
 
-use gsu_bench::{ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs};
+use gsu_bench::{
+    ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs, TelemetrySession,
+};
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Effect of fault-manifestation rate on optimal G-OP duration (θ=5000)",
     );
     let args = ExperimentArgs::parse(10);
+    let _telemetry = TelemetrySession::new(&args.out_dir);
     let base = GsuParams::paper_baseline().with_theta(5000.0)?;
     let curves = vec![
         Curve::sweep("µnew = 0.0001", &GsuAnalysis::new(base)?, args.steps)?,
@@ -29,8 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", curve_table(&curves));
     println!("{}", ascii_chart(&curves, 18));
     for c in &curves {
-        let b = c.best();
-        println!("{}: optimal φ = {} with Y = {:.4}  (paper: 2500 / 2000)", c.label, b.phi, b.y);
+        let b = c.best().expect("swept curve is non-empty");
+        println!(
+            "{}: optimal φ = {} with Y = {:.4}  (paper: 2500 / 2000)",
+            c.label, b.phi, b.y
+        );
     }
     write_csv(&args.csv_path("fig12.csv"), &curves)?;
     println!("\nwrote {}", args.csv_path("fig12.csv").display());

@@ -5,7 +5,9 @@
 //! Paper result: optimal φ = 7000 for µ_new = 10⁻⁴ and 5000 for
 //! µ_new = 0.5·10⁻⁴; maximum Y ≈ 1.47 / ≈ 1.30.
 
-use gsu_bench::{ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs};
+use gsu_bench::{
+    ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs, TelemetrySession,
+};
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,13 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Effect of fault-manifestation rate on optimal G-OP duration (θ=10000)",
     );
     let args = ExperimentArgs::parse(10);
+    let _telemetry = TelemetrySession::new(&args.out_dir);
     let base = GsuParams::paper_baseline();
     let curves = vec![
-        Curve::sweep(
-            "µnew = 0.0001",
-            &GsuAnalysis::new(base)?,
-            args.steps,
-        )?,
+        Curve::sweep("µnew = 0.0001", &GsuAnalysis::new(base)?, args.steps)?,
         Curve::sweep(
             "µnew = 0.00005",
             &GsuAnalysis::new(base.with_mu_new(5e-5)?)?,
@@ -31,8 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", curve_table(&curves));
     println!("{}", ascii_chart(&curves, 18));
     for c in &curves {
-        let b = c.best();
-        println!("{}: optimal φ = {} with Y = {:.4}  (paper: 7000 / 5000)", c.label, b.phi, b.y);
+        let b = c.best().expect("swept curve is non-empty");
+        println!(
+            "{}: optimal φ = {} with Y = {:.4}  (paper: 7000 / 5000)",
+            c.label, b.phi, b.y
+        );
     }
     write_csv(&args.csv_path("fig9.csv"), &curves)?;
     println!("\nwrote {}", args.csv_path("fig9.csv").display());

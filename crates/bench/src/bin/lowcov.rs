@@ -10,6 +10,7 @@ use gsu_bench::{banner, curve_table, write_csv, Curve};
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     banner(
         "§6 low-coverage study",
         "Guarded operation under very low AT coverage (θ=10000, α=β=2500)",
@@ -22,19 +23,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{}", curve_table(&curves));
 
-    let b20 = curves[0].best();
+    let b20 = curves[0].best().expect("swept curve is non-empty");
     println!(
         "c = 0.20: max Y = {:.4} at φ = {} (paper: ≈1.06 at 4000 — benefit insignificant)",
         b20.y, b20.phi
     );
     let c10 = &curves[1];
-    let b10 = c10.best();
+    let b10 = c10.best().expect("swept curve is non-empty");
     let decreasing_tail = c10
         .points
         .windows(2)
         .filter(|w| w[0].phi >= b10.phi)
         .all(|w| w[1].y <= w[0].y + 1e-9);
-    let below_one_late = c10.points.iter().filter(|p| p.phi >= 4000.0).all(|p| p.y < 1.0);
+    let below_one_late = c10
+        .points
+        .iter()
+        .filter(|p| p.phi >= 4000.0)
+        .all(|p| p.y < 1.0);
     println!(
         "c = 0.10: max Y = {:.4}; Y < 1 for φ ≥ 4000: {}; decreasing past the max: {}",
         b10.y, below_one_late, decreasing_tail

@@ -12,7 +12,11 @@ use performability::sensitivity::local_sensitivity;
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    gsu_bench::banner("Analysis report", "Full markdown report for the Table 3 baseline");
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
+    gsu_bench::banner(
+        "Analysis report",
+        "Full markdown report for the Table 3 baseline",
+    );
     let params = GsuParams::paper_baseline();
     let analysis = GsuAnalysis::new(params)?;
     let best = analysis.optimal_phi(10, 16)?;

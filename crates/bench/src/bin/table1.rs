@@ -6,6 +6,7 @@ use performability::{gsu::rmgd, GsuAnalysis, GsuParams};
 use san::{Analyzer, RewardSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     gsu_bench::banner(
         "Table 1",
         "Constituent measures and SAN reward structures in RMGd",
@@ -19,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "RMGd state space: {} tangible states\n",
         analyzer.state_space().n_states()
     );
-    println!("{:<24} {:<34} {:<46} {:>12}", "Measure", "Reward type", "Predicate-rate pair", "value@φ=7000");
+    println!(
+        "{:<24} {:<34} {:<46} {:>12}",
+        "Measure", "Reward type", "Predicate-rate pair", "value@φ=7000"
+    );
     println!("{}", "-".repeat(120));
 
     let phi = 7000.0;
@@ -27,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let i_h = analyzer.probability_at(phi, |mk| p.in_a3(mk))?;
     println!(
         "{:<24} {:<34} {:<46} {:>12.6}",
-        "∫₀^φ h(τ)dτ",
-        "instant-of-time at φ",
-        "MARK(detected)==1 && MARK(failure)==0 -> 1",
-        i_h
+        "∫₀^φ h(τ)dτ", "instant-of-time at φ", "MARK(detected)==1 && MARK(failure)==0 -> 1", i_h
     );
 
     let spec = RewardSpec::new()
@@ -57,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a1 = analyzer.probability_at(phi, |mk| p.in_a1(mk))?;
     println!(
         "{:<24} {:<34} {:<46} {:>12.6}",
-        "P(X'_φ ∈ A'1)",
-        "instant-of-time at φ",
-        "MARK(detected)==0 && MARK(failure)==0 -> 1",
-        a1
+        "P(X'_φ ∈ A'1)", "instant-of-time at φ", "MARK(detected)==0 && MARK(failure)==0 -> 1", a1
     );
 
     println!("\nFull constituent-measure vector through the pipeline at φ = 7000:");

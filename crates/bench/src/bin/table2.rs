@@ -5,21 +5,23 @@
 use performability::{gsu::rmgp, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     gsu_bench::banner(
         "Table 2",
         "Constituent measures and SAN reward structures in RMGp",
     );
-    println!("{:<10} {:<30} {}", "Measure", "Reward type", "Predicate-rate pair");
+    println!(
+        "{:<10} {:<30} Predicate-rate pair",
+        "Measure", "Reward type"
+    );
     println!("{}", "-".repeat(110));
     println!(
-        "{:<10} {:<30} {}",
-        "1 − ρ1", "steady-state instant-of-time", "MARK(P1nExt)==1 -> 1"
+        "{:<10} {:<30} MARK(P1nExt)==1 -> 1",
+        "1 − ρ1", "steady-state instant-of-time"
     );
     println!(
-        "{:<10} {:<30} {}",
-        "1 − ρ2",
-        "steady-state instant-of-time",
-        "(MARK(P1nInt)==1 && MARK(P2DB)==0) || (MARK(P2Ext)==1 && MARK(P2DB)==1) -> 1"
+        "{:<10} {:<30} (MARK(P1nInt)==1 && MARK(P2DB)==0) || (MARK(P2Ext)==1 && MARK(P2DB)==1) -> 1",
+        "1 − ρ2", "steady-state instant-of-time"
     );
 
     println!("\nSolved values (paper reports ρ1/ρ2 = 0.98/0.95 and 0.95/0.90):");

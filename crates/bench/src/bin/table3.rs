@@ -3,6 +3,7 @@
 use performability::GsuParams;
 
 fn main() {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     gsu_bench::banner("Table 3", "Parameter value assignment (times in hours)");
     let p = GsuParams::paper_baseline();
     println!(

@@ -5,13 +5,17 @@ use performability::sensitivity::{local_sensitivity, tornado_table};
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     gsu_bench::banner(
         "Sensitivity tornado",
         "Elasticity of Y at the optimal φ, ±10% parameter perturbations",
     );
     let params = GsuParams::paper_baseline();
     let best = GsuAnalysis::new(params)?.optimal_phi(10, 12)?;
-    println!("baseline optimum: φ* = {:.0}, Y = {:.4}\n", best.phi, best.y);
+    println!(
+        "baseline optimum: φ* = {:.0}, Y = {:.4}\n",
+        best.phi, best.y
+    );
 
     let sens = local_sensitivity(params, best.phi, 0.10)?;
     println!("{}", tornado_table(&sens));

@@ -21,12 +21,11 @@ fn estimate_y_with_gamma(
     replications: usize,
     seed: u64,
 ) -> Result<YEstimate, performability::PerfError> {
-    let guarded = MonteCarlo::new(
-        SimConfig::new(params, phi)?.with_gamma(GammaMode::Constant(gamma)),
-    )
-    .with_replications(replications)
-    .with_seed(seed)
-    .run();
+    let guarded =
+        MonteCarlo::new(SimConfig::new(params, phi)?.with_gamma(GammaMode::Constant(gamma)))
+            .with_replications(replications)
+            .with_seed(seed)
+            .run();
     let unguarded = MonteCarlo::new(SimConfig::new(params, 0.0)?)
         .with_replications(replications)
         .with_seed(seed.wrapping_add(0x5EED))
@@ -48,6 +47,7 @@ fn estimate_y_with_gamma(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     gsu_bench::banner(
         "Simulation validation",
         "Analytic translation pipeline vs MDCD discrete-event simulation",
@@ -87,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s_path.y,
         );
     }
-    println!("worst relative gap (paper-γ convention): {:.2}%", worst * 100.0);
+    println!(
+        "worst relative gap (paper-γ convention): {:.2}%",
+        worst * 100.0
+    );
     println!("(residual bias: the Table-1 ∫τh reward structure counts censored paths");
     println!(" at weight φ, a documented approximation the simulator does not share)");
 

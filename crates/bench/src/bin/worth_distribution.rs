@@ -11,6 +11,7 @@ use mdcd_sim::distribution::compare_guarded_unguarded;
 use performability::GsuParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
     gsu_bench::banner(
         "Worth distribution",
         "Empirical distribution of W_φ at φ = 7000 vs unguarded (10000 reps)",

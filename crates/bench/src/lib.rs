@@ -42,16 +42,62 @@ impl Curve {
         })
     }
 
-    /// The point with the largest `Y`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the curve is empty.
-    pub fn best(&self) -> &SweepPoint {
-        self.points
-            .iter()
-            .max_by(|a, b| a.y.total_cmp(&b.y))
-            .expect("curve must not be empty")
+    /// The point with the largest `Y`, or `None` for an empty curve.
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points.iter().max_by(|a, b| a.y.total_cmp(&b.y))
+    }
+}
+
+/// Run-scoped telemetry session for the experiment binaries.
+///
+/// When the `GSU_TELEMETRY` environment variable is `1`, construction
+/// installs a [`telemetry::Collector`] as the global sink; dropping the
+/// session writes `telemetry.json` (the structured run report) and
+/// `trace.json` (Chrome `trace_event` JSON, loadable in Perfetto or
+/// `chrome://tracing`) into the experiment's output directory. When the
+/// variable is unset or different the session is inert and every
+/// instrumentation call in the pipeline stays a no-op, so output files are
+/// byte-identical to an uninstrumented run.
+pub struct TelemetrySession {
+    collector: Option<std::sync::Arc<telemetry::Collector>>,
+    out_dir: std::path::PathBuf,
+}
+
+impl TelemetrySession {
+    /// Starts a session writing into `out_dir` (usually
+    /// [`ExperimentArgs::out_dir`]).
+    pub fn new(out_dir: &Path) -> Self {
+        TelemetrySession {
+            collector: telemetry::init_from_env("GSU_TELEMETRY"),
+            out_dir: out_dir.to_path_buf(),
+        }
+    }
+
+    /// Whether telemetry collection is active for this run.
+    pub fn is_active(&self) -> bool {
+        self.collector.is_some()
+    }
+}
+
+impl Drop for TelemetrySession {
+    fn drop(&mut self) {
+        let Some(collector) = self.collector.take() else {
+            return;
+        };
+        telemetry::clear_sink();
+        let report = self.out_dir.join("telemetry.json");
+        let trace = self.out_dir.join("trace.json");
+        match collector
+            .write_run_report(&report)
+            .and_then(|()| collector.write_chrome_trace(&trace))
+        {
+            Ok(()) => println!(
+                "telemetry: wrote {} and {}",
+                report.display(),
+                trace.display()
+            ),
+            Err(e) => eprintln!("telemetry: failed to write reports: {e}"),
+        }
     }
 }
 
@@ -104,7 +150,7 @@ pub fn curve_table(curves: &[Curve]) -> String {
     }
     let _ = writeln!(out);
     let n = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
-    let bests: Vec<f64> = curves.iter().map(|c| c.best().phi).collect();
+    let bests: Vec<Option<f64>> = curves.iter().map(|c| c.best().map(|p| p.phi)).collect();
     for i in 0..n {
         if let Some(p0) = curves.iter().find_map(|c| c.points.get(i)) {
             let _ = write!(out, "{:>10.0}", p0.phi);
@@ -112,7 +158,7 @@ pub fn curve_table(curves: &[Curve]) -> String {
         for (c, &best_phi) in curves.iter().zip(&bests) {
             match c.points.get(i) {
                 Some(p) => {
-                    let mark = if p.phi == best_phi { "*" } else { " " };
+                    let mark = if Some(p.phi) == best_phi { "*" } else { " " };
                     let _ = write!(out, "  {:>17.4}{mark}", p.y);
                 }
                 None => {
@@ -240,8 +286,20 @@ mod tests {
     #[test]
     fn best_is_max_y() {
         let c = small_curve();
-        let best = c.best();
+        let best = c.best().expect("non-empty curve has a best point");
         assert!(c.points.iter().all(|p| p.y <= best.y));
+    }
+
+    #[test]
+    fn best_of_empty_curve_is_none() {
+        let c = Curve {
+            label: "empty".into(),
+            points: Vec::new(),
+        };
+        assert!(c.best().is_none());
+        // And an empty curve must not break the table renderer either.
+        let t = curve_table(&[c]);
+        assert!(t.contains("phi"));
     }
 
     #[test]

@@ -4,9 +4,7 @@
 use san::Analyzer;
 
 use crate::gsu::{rmgd, rmgp, rmnd};
-use crate::{
-    assemble, ConstituentMeasures, GammaPolicy, GsuParams, PerfError, Result, SweepPoint,
-};
+use crate::{assemble, ConstituentMeasures, GammaPolicy, GsuParams, PerfError, Result, SweepPoint};
 
 /// Where the forward-progress fractions `ρ1`, `ρ2` come from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,6 +84,7 @@ impl GsuAnalysis {
 
     fn build(params: GsuParams, overhead: OverheadSource) -> Result<Self> {
         params.validate()?;
+        let mut span = telemetry::span("performability.build");
 
         let rho = match overhead {
             OverheadSource::Computed => rmgp::solve_rho(&params)?,
@@ -103,6 +102,14 @@ impl GsuAnalysis {
         let failure = new.places.failure;
         let p_a1_norm_theta =
             rmnd_new.probability_at(params.theta, move |mk| mk.tokens(failure) == 0)?;
+
+        if telemetry::enabled() {
+            telemetry::gauge("performability.rho1", rho.0);
+            telemetry::gauge("performability.rho2", rho.1);
+            telemetry::gauge("performability.p_a1_norm_theta", p_a1_norm_theta);
+            span.record("rho1", rho.0);
+            span.record("rho2", rho.1);
+        }
 
         Ok(GsuAnalysis {
             params,
@@ -142,6 +149,8 @@ impl GsuAnalysis {
     /// propagates solver failures.
     pub fn measures(&self, phi: f64) -> Result<ConstituentMeasures> {
         self.params.validate_phi(phi)?;
+        let mut span = telemetry::span("performability.measures");
+        span.record("phi", phi);
         let theta = self.params.theta;
         let p = self.rmgd_places;
 
@@ -193,6 +202,13 @@ impl GsuAnalysis {
                 .rmnd_old
                 .probability_at(remaining, move |mk| mk.tokens(old_failure) == 0)?;
 
+        if telemetry::enabled() {
+            span.record("p_a1_gop", p_a1_gop);
+            span.record("p_a1_norm_rem", p_a1_norm_rem);
+            span.record("i_h", i_h);
+            span.record("i_f", i_f);
+        }
+
         Ok(ConstituentMeasures {
             p_a1_gop,
             p_a1_norm_theta: self.p_a1_norm_theta,
@@ -214,8 +230,31 @@ impl GsuAnalysis {
     ///
     /// Same failure modes as [`GsuAnalysis::measures`].
     pub fn evaluate(&self, phi: f64) -> Result<SweepPoint> {
+        let mut span = telemetry::span("performability.evaluate");
+        span.record("phi", phi);
         let measures = self.measures(phi)?;
-        assemble(self.params.theta, phi, &measures, self.gamma_policy)
+        let point = assemble(self.params.theta, phi, &measures, self.gamma_policy)?;
+        if telemetry::enabled() {
+            telemetry::counter("performability.evaluations", 1);
+            span.record("y", point.y);
+        }
+        Ok(point)
+    }
+
+    /// The dropped-self-loop diagnostic of each generated state space, as
+    /// `(model name, total dropped rate)` pairs — nonzero values are
+    /// surfaced as warnings in reports.
+    pub fn dropped_self_loop_rates(&self) -> Vec<(String, f64)> {
+        [&self.rmgd_analyzer, &self.rmnd_new, &self.rmnd_old]
+            .iter()
+            .map(|a| {
+                let space = a.state_space();
+                (
+                    space.model_name().to_string(),
+                    space.dropped_self_loop_rate(),
+                )
+            })
+            .collect()
     }
 
     /// Evaluates a sweep of φ values (e.g. the grid of Figures 9–12).
@@ -285,8 +324,7 @@ impl GsuAnalysis {
             .rate_when(move |mk| p.in_a4(mk), -1.0);
         let tau_structure = tau_spec.to_structure(gd_space);
         // Stopped chain for the exact truncated moment.
-        let detected_states =
-            gd_space.states_where(|mk| mk.tokens(p.detected) == 1);
+        let detected_states = gd_space.states_where(|mk| mk.tokens(p.detected) == 1);
         let mut is_target = vec![false; gd.n_states()];
         for &s in &detected_states {
             is_target[s] = true;
@@ -346,10 +384,7 @@ impl GsuAnalysis {
                 (1.0, 0.0, 0.0, 0.0, 0.0)
             } else {
                 let pi = &pi_at[k];
-                let d_phi: f64 = detected_states
-                    .iter()
-                    .map(|&s| stopped_pi_at[k][s])
-                    .sum();
+                let d_phi: f64 = detected_states.iter().map(|&s| stopped_pi_at[k][s]).sum();
                 (
                     gd_space.probability_of(pi, |mk| p.in_a1(mk)),
                     gd_space.probability_of(pi, |mk| p.in_a3(mk)),
@@ -363,8 +398,7 @@ impl GsuAnalysis {
             let rk = phis.len() - 1 - k;
             let p_a1_norm_rem =
                 new_space.probability_of(&new_pi[rk], |mk| mk.tokens(new_failure) == 0);
-            let i_f =
-                1.0 - old_space.probability_of(&old_pi[rk], |mk| mk.tokens(old_failure) == 0);
+            let i_f = 1.0 - old_space.probability_of(&old_pi[rk], |mk| mk.tokens(old_failure) == 0);
 
             let measures = ConstituentMeasures {
                 p_a1_gop,
@@ -504,8 +538,7 @@ mod tests {
 
     #[test]
     fn fixed_overhead_is_respected() {
-        let an =
-            GsuAnalysis::with_fixed_overhead(GsuParams::paper_baseline(), 0.95, 0.90).unwrap();
+        let an = GsuAnalysis::with_fixed_overhead(GsuParams::paper_baseline(), 0.95, 0.90).unwrap();
         assert_eq!(an.rho(), (0.95, 0.90));
         assert!(GsuAnalysis::with_fixed_overhead(GsuParams::paper_baseline(), 1.5, 0.9).is_err());
     }

@@ -42,7 +42,10 @@ impl fmt::Display for PerfError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter {name} = {value} (expected {expected})"),
+            } => write!(
+                f,
+                "invalid parameter {name} = {value} (expected {expected})"
+            ),
             PerfError::PhiOutOfRange { phi, theta } => {
                 write!(f, "guarded-operation duration {phi} outside [0, {theta}]")
             }

@@ -194,28 +194,40 @@ pub fn build(params: &GsuParams) -> san::Result<Rmgd> {
             .with_case(
                 // Erroneous external message, detected by the AT.
                 Case::with_probability_fn(move |mk| {
-                    if mk.tokens(p1n_ctn) == 1 { p_ext * c } else { 0.0 }
+                    if mk.tokens(p1n_ctn) == 1 {
+                        p_ext * c
+                    } else {
+                        0.0
+                    }
                 })
                 .with_output_gate(og_detect),
             )
             .with_case(
                 // Erroneous external message, AT coverage miss: failure.
                 Case::with_probability_fn(move |mk| {
-                    if mk.tokens(p1n_ctn) == 1 { p_ext * (1.0 - c) } else { 0.0 }
+                    if mk.tokens(p1n_ctn) == 1 {
+                        p_ext * (1.0 - c)
+                    } else {
+                        0.0
+                    }
                 })
                 .with_output_gate(og_fail),
             )
             .with_case(
                 // Correct external message passes the AT; confidence in the
                 // message lineage is restored (dirty bit reset).
-                Case::with_probability_fn(move |mk| {
-                    if mk.tokens(p1n_ctn) == 0 { p_ext } else { 0.0 }
-                })
+                Case::with_probability_fn(
+                    move |mk| {
+                        if mk.tokens(p1n_ctn) == 0 {
+                            p_ext
+                        } else {
+                            0.0
+                        }
+                    },
+                )
                 .with_output_gate(og_pass_at),
             )
-            .with_case(
-                Case::with_probability(1.0 - p_ext).with_output_gate(og_p1n_internal),
-            ),
+            .with_case(Case::with_probability(1.0 - p_ext).with_output_gate(og_p1n_internal)),
     )?;
 
     // --- P2 message sending under G-OP -------------------------------------
@@ -274,9 +286,7 @@ pub fn build(params: &GsuParams) -> san::Result<Rmgd> {
                 })
                 .with_output_gate(og_fail),
             )
-            .with_case(
-                Case::with_probability(1.0 - p_ext).with_output_gate(og_p2_internal_gop),
-            ),
+            .with_case(Case::with_probability(1.0 - p_ext).with_output_gate(og_p2_internal_gop)),
     )?;
 
     // --- Normal mode after recovery (P1old + P2 in mission operation) ------
@@ -286,17 +296,13 @@ pub fn build(params: &GsuParams) -> san::Result<Rmgd> {
         Activity::timed("P1Omsg", lambda)
             .with_enabling(move |mk| recovered(mk) && mk.tokens(p1o_ctn) == 1)
             .with_case(Case::with_probability(p_ext).with_output_gate(og_fail))
-            .with_case(
-                Case::with_probability(1.0 - p_ext).with_output_gate(og_p1o_internal_norm),
-            ),
+            .with_case(Case::with_probability(1.0 - p_ext).with_output_gate(og_p1o_internal_norm)),
     )?;
     m.add_activity(
         Activity::timed("P2msgN", lambda)
             .with_enabling(move |mk| recovered(mk) && mk.tokens(p2_ctn) == 1)
             .with_case(Case::with_probability(p_ext).with_output_gate(og_fail))
-            .with_case(
-                Case::with_probability(1.0 - p_ext).with_output_gate(og_p2_internal_norm),
-            ),
+            .with_case(Case::with_probability(1.0 - p_ext).with_output_gate(og_p2_internal_norm)),
     )?;
 
     Ok(Rmgd {
@@ -336,7 +342,12 @@ mod tests {
         let p = rmgd.places;
         for i in 0..ss.n_states() {
             let mk = ss.marking(i);
-            let cats = [p.in_a1(mk), p.in_a3(mk), p.in_a4(mk), p.detected_then_failed(mk)];
+            let cats = [
+                p.in_a1(mk),
+                p.in_a3(mk),
+                p.in_a4(mk),
+                p.detected_then_failed(mk),
+            ];
             assert_eq!(
                 cats.iter().filter(|&&b| b).count(),
                 1,

@@ -145,7 +145,10 @@ mod tests {
             .probability_at(p.theta, move |mk| mk.tokens(failure) == 0)
             .unwrap();
         let bound = (-p.mu_new * p.theta).exp();
-        assert!(surv <= bound + 1e-9, "survival {surv} must not exceed {bound}");
+        assert!(
+            surv <= bound + 1e-9,
+            "survival {surv} must not exceed {bound}"
+        );
         // The lag between manifestation and the failing external message is
         // ~1/(λ·p_ext) = 1/120 h, so the two probabilities are close.
         assert!((surv - bound).abs() < 0.01, "{surv} vs {bound}");

@@ -7,7 +7,7 @@ use crate::{translation, ConstituentMeasures, PerfError, Result};
 /// Policy for the discount factor γ of Eq. 4 — the additional mission-worth
 /// reduction charged to an unsuccessful-but-safe upgrade relative to a
 /// successful one.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GammaPolicy {
     /// A fixed discount in `(0, 1]`.
     Constant(f64),
@@ -18,6 +18,7 @@ pub enum GammaPolicy {
     /// abandoned, so later detections are worth less; because this τ grows
     /// with φ, the discount is what turns `Y(φ)` over and produces the
     /// interior optimum of Figures 9–12.
+    #[default]
     MeanDetectionFraction,
     /// An alternative reading for sensitivity studies: `γ = 1 − τ̄/θ` with
     /// the *exact conditional* mean detection time
@@ -28,20 +29,12 @@ pub enum GammaPolicy {
     ExactMeanDetectionFraction,
 }
 
-impl Default for GammaPolicy {
-    fn default() -> Self {
-        GammaPolicy::MeanDetectionFraction
-    }
-}
-
 impl GammaPolicy {
     /// Evaluates γ for a mission window θ and a set of constituent measures.
     pub fn gamma(&self, theta: f64, measures: &ConstituentMeasures) -> f64 {
         match *self {
             GammaPolicy::Constant(g) => g,
-            GammaPolicy::MeanDetectionFraction => {
-                (1.0 - measures.i_tau_h / theta).clamp(0.0, 1.0)
-            }
+            GammaPolicy::MeanDetectionFraction => (1.0 - measures.i_tau_h / theta).clamp(0.0, 1.0),
             GammaPolicy::ExactMeanDetectionFraction => {
                 match measures.conditional_mean_detection_time() {
                     Some(tau_bar) => (1.0 - tau_bar / theta).clamp(0.0, 1.0),
@@ -225,8 +218,13 @@ mod tests {
     fn exact_gamma_policy_is_weaker_discount() {
         let m = measures();
         let table = assemble(10_000.0, 7000.0, &m, GammaPolicy::MeanDetectionFraction).unwrap();
-        let exact =
-            assemble(10_000.0, 7000.0, &m, GammaPolicy::ExactMeanDetectionFraction).unwrap();
+        let exact = assemble(
+            10_000.0,
+            7000.0,
+            &m,
+            GammaPolicy::ExactMeanDetectionFraction,
+        )
+        .unwrap();
         // Exact conditional mean < Table-1 measure => larger γ => larger Y.
         assert!(exact.gamma > table.gamma);
         assert!(exact.y > table.y);

@@ -72,14 +72,10 @@ impl ConstituentMeasures {
         }
         if !self.i_hf.is_finite() || self.i_hf < -1e-9 || self.i_hf > self.i_h + 1e-9 {
             return Err(PerfError::MeasureInvariant {
-                context: format!(
-                    "∫∫hf = {} outside [0, ∫h = {}]",
-                    self.i_hf, self.i_h
-                ),
+                context: format!("∫∫hf = {} outside [0, ∫h = {}]", self.i_hf, self.i_h),
             });
         }
-        if !self.i_tau_h.is_finite() || self.i_tau_h < -1e-9 || self.i_tau_h > phi * (1.0 + 1e-9)
-        {
+        if !self.i_tau_h.is_finite() || self.i_tau_h < -1e-9 || self.i_tau_h > phi * (1.0 + 1e-9) {
             return Err(PerfError::MeasureInvariant {
                 context: format!("∫τh = {} outside [0, φ = {phi}]", self.i_tau_h),
             });
@@ -99,9 +95,7 @@ impl ConstituentMeasures {
         let total = self.p_a1_gop + self.i_h + self.i_hf;
         if total > 1.0 + 1e-6 {
             return Err(PerfError::MeasureInvariant {
-                context: format!(
-                    "P(A'1) + ∫h + ∫∫hf = {total} exceeds 1 (sets overlap?)"
-                ),
+                context: format!("P(A'1) + ∫h + ∫∫hf = {total} exceeds 1 (sets overlap?)"),
             });
         }
         Ok(())
@@ -142,7 +136,11 @@ impl fmt::Display for ConstituentMeasures {
         writeln!(f, "ρ2                   = {:.6}", self.rho2)?;
         writeln!(f, "∫₀^φ h(τ)dτ          = {:.6}", self.i_h)?;
         writeln!(f, "∫₀^φ τh(τ)dτ         = {:.6} (Table 1)", self.i_tau_h)?;
-        writeln!(f, "E[τ·1{{τ≤φ}}]          = {:.6} (exact)", self.i_tau_h_exact)?;
+        writeln!(
+            f,
+            "E[τ·1{{τ≤φ}}]          = {:.6} (exact)",
+            self.i_tau_h_exact
+        )?;
         writeln!(f, "∫₀^φ∫_τ^φ h·f        = {:.6e}", self.i_hf)?;
         write!(f, "∫_φ^θ f(x)dx         = {:.6e}", self.i_f)
     }
@@ -212,9 +210,7 @@ mod tests {
     fn conditional_mean_detection_time() {
         let m = good();
         let detect_mass = m.i_h + m.i_hf;
-        assert!(
-            (m.conditional_mean_detection_time().unwrap() - 1400.0 / detect_mass).abs() < 1e-9
-        );
+        assert!((m.conditional_mean_detection_time().unwrap() - 1400.0 / detect_mass).abs() < 1e-9);
         let mut m0 = good();
         m0.i_h = 0.0;
         m0.i_hf = 0.0;

@@ -71,7 +71,7 @@ impl GsuParams {
             ("mu_new", self.mu_new),
         ];
         for (name, value) in positive {
-            if !(value > 0.0) || !value.is_finite() {
+            if !value.is_finite() || value <= 0.0 {
                 return Err(PerfError::InvalidParameter {
                     name,
                     value,
@@ -79,7 +79,7 @@ impl GsuParams {
                 });
             }
         }
-        if !(self.mu_old >= 0.0) || !self.mu_old.is_finite() {
+        if !self.mu_old.is_finite() || self.mu_old < 0.0 {
             return Err(PerfError::InvalidParameter {
                 name: "mu_old",
                 value: self.mu_old,

@@ -85,7 +85,7 @@ pub fn recommend(
     grid: usize,
     refinements: usize,
 ) -> Result<Recommendation> {
-    if !(constraints.min_benefit >= 0.0) || !constraints.min_benefit.is_finite() {
+    if !constraints.min_benefit.is_finite() || constraints.min_benefit < 0.0 {
         return Err(PerfError::InvalidParameter {
             name: "min_benefit",
             value: constraints.min_benefit,

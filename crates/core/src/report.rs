@@ -39,7 +39,12 @@ impl Default for ReportOptions {
 pub fn markdown(analysis: &GsuAnalysis, opts: &ReportOptions) -> Result<String> {
     let params = *analysis.params();
     let sweep = analysis.sweep_grid(opts.sweep_steps)?;
-    let rec = recommend(analysis, &opts.constraints, opts.sweep_steps, opts.refinements)?;
+    let rec = recommend(
+        analysis,
+        &opts.constraints,
+        opts.sweep_steps,
+        opts.refinements,
+    )?;
     let best = &rec.best;
 
     let mut md = String::new();
@@ -101,6 +106,22 @@ pub fn markdown(analysis: &GsuAnalysis, opts: &ReportOptions) -> Result<String> 
     let _ = writeln!(md, "\n## Constituent measures at φ*\n");
     let _ = writeln!(md, "```\n{}\n```", best.measures);
 
+    let dropped: Vec<(String, f64)> = analysis
+        .dropped_self_loop_rates()
+        .into_iter()
+        .filter(|(_, rate)| *rate > 0.0)
+        .collect();
+    if !dropped.is_empty() {
+        let _ = writeln!(md);
+        for (model, rate) in dropped {
+            let _ = writeln!(
+                md,
+                "# warning: model {model} dropped tangible self-loop rate \
+                 {rate:.6e} during state-space generation"
+            );
+        }
+    }
+
     Ok(md)
 }
 
@@ -144,11 +165,28 @@ mod tests {
             .with_coverage(0.20)
             .unwrap();
         let analysis = GsuAnalysis::new(params).unwrap();
-        let mut opts = ReportOptions::default();
-        opts.sweep_steps = 4;
-        opts.refinements = 4;
+        let opts = ReportOptions {
+            sweep_steps: 4,
+            refinements: 4,
+            ..Default::default()
+        };
         let md = markdown(&analysis, &opts).unwrap();
         assert!(md.contains("Activate without a guard"));
+    }
+
+    #[test]
+    fn warning_lines_track_dropped_self_loop_rates() {
+        let analysis = GsuAnalysis::new(GsuParams::paper_baseline()).unwrap();
+        let md = markdown(&analysis, &ReportOptions::default()).unwrap();
+        let any_dropped = analysis
+            .dropped_self_loop_rates()
+            .iter()
+            .any(|(_, rate)| *rate > 0.0);
+        assert_eq!(md.contains("# warning:"), any_dropped);
+        // Warning lines must never masquerade as sweep-table rows.
+        for line in md.lines().filter(|l| l.starts_with("# warning:")) {
+            assert!(!line.contains("| "));
+        }
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl ParamSensitivity {
 }
 
 /// All basic parameters that can be perturbed multiplicatively.
-fn parameters() -> Vec<(&'static str, fn(&GsuParams) -> f64, fn(&mut GsuParams, f64))> {
+/// Parameter accessor pair: read the value, write a perturbed value.
+type ParamAccessor = (&'static str, fn(&GsuParams) -> f64, fn(&mut GsuParams, f64));
+
+fn parameters() -> Vec<ParamAccessor> {
     vec![
         ("lambda", |p| p.lambda, |p, v| p.lambda = v),
         ("mu_new", |p| p.mu_new, |p, v| p.mu_new = v),

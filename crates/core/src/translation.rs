@@ -86,20 +86,21 @@ where
     H: Fn(f64) -> f64,
     F: Fn(f64) -> f64,
 {
-    assert!(steps >= 2 && steps % 2 == 0, "steps must be even and >= 2");
+    assert!(
+        steps >= 2 && steps.is_multiple_of(2),
+        "steps must be even and >= 2"
+    );
     // Outer integral over τ with inner tail ∫_τ^hi f.
-    simpson(
-        |tau| h(tau) * simpson(&f, tau, hi, steps),
-        0.0,
-        phi,
-        steps,
-    )
+    simpson(|tau| h(tau) * simpson(&f, tau, hi, steps), 0.0, phi, steps)
 }
 
 /// Composite Simpson quadrature of `g` over `[a, b]` with an even number of
 /// `steps`.
 pub fn simpson<G: Fn(f64) -> f64>(g: G, a: f64, b: f64, steps: usize) -> f64 {
-    assert!(steps >= 2 && steps % 2 == 0, "steps must be even and >= 2");
+    assert!(
+        steps >= 2 && steps.is_multiple_of(2),
+        "steps must be even and >= 2"
+    );
     if b <= a {
         return 0.0;
     }

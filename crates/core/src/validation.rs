@@ -27,14 +27,14 @@ use crate::{GsuAnalysis, GsuParams, PerfError, Result, SweepPoint};
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients (g = 7, n = 9).
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -124,7 +124,7 @@ impl FaultRatePosterior {
     ///
     /// Returns [`PerfError::InvalidParameter`] for non-positive means.
     pub fn weakly_informative(prior_mean: f64) -> Result<Self> {
-        if !(prior_mean > 0.0) || !prior_mean.is_finite() {
+        if !prior_mean.is_finite() || prior_mean <= 0.0 {
             return Err(PerfError::InvalidParameter {
                 name: "prior_mean",
                 value: prior_mean,
@@ -144,7 +144,7 @@ impl FaultRatePosterior {
     ///
     /// Returns [`PerfError::InvalidParameter`] for negative exposure.
     pub fn observe(mut self, faults: u64, exposure: f64) -> Result<Self> {
-        if !(exposure >= 0.0) || !exposure.is_finite() {
+        if !exposure.is_finite() || exposure < 0.0 {
             return Err(PerfError::InvalidParameter {
                 name: "exposure",
                 value: exposure,
@@ -217,7 +217,7 @@ impl StoppingRule {
     /// Returns [`PerfError::InvalidParameter`] on a non-positive target or
     /// a confidence outside `(0, 1)`.
     pub fn new(target_rate: f64, confidence: f64) -> Result<Self> {
-        if !(target_rate > 0.0) || !target_rate.is_finite() {
+        if !target_rate.is_finite() || target_rate <= 0.0 {
             return Err(PerfError::InvalidParameter {
                 name: "target_rate",
                 value: target_rate,
@@ -340,7 +340,13 @@ mod tests {
 
     #[test]
     fn ln_gamma_matches_factorials() {
-        for (n, fact) in [(1u32, 1.0f64), (2, 1.0), (3, 2.0), (5, 24.0), (10, 362_880.0)] {
+        for (n, fact) in [
+            (1u32, 1.0f64),
+            (2, 1.0),
+            (3, 2.0),
+            (5, 24.0),
+            (10, 362_880.0),
+        ] {
             assert!(
                 (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
                 "Γ({n}) should be {fact}"
@@ -352,8 +358,8 @@ mod tests {
 
     #[test]
     fn reg_gamma_is_exponential_cdf_for_shape_one() {
-        for x in [0.0, 0.1, 1.0, 5.0] {
-            let want = 1.0 - (-x as f64).exp();
+        for x in [0.0, 0.1, 1.0, 5.0f64] {
+            let want = 1.0 - (-x).exp();
             assert!((reg_gamma_lower(1.0, x) - want).abs() < 1e-12);
         }
     }
@@ -361,12 +367,9 @@ mod tests {
     #[test]
     fn reg_gamma_is_erlang_cdf_for_integer_shape() {
         // P(3, x) = 1 − e^{−x}(1 + x + x²/2).
-        for x in [0.5, 2.0, 8.0] {
-            let want = 1.0 - (-x as f64).exp() * (1.0 + x + x * x / 2.0);
-            assert!(
-                (reg_gamma_lower(3.0, x) - want).abs() < 1e-11,
-                "x={x}"
-            );
+        for x in [0.5, 2.0, 8.0f64] {
+            let want = 1.0 - (-x).exp() * (1.0 + x + x * x / 2.0);
+            assert!((reg_gamma_lower(3.0, x) - want).abs() < 1e-11, "x={x}");
         }
     }
 
@@ -441,7 +444,11 @@ mod tests {
             rate: 1e6 / 1e-4,
         };
         let predictive = posterior_predictive_y(&post, params, 6000.0, 4).unwrap();
-        let plugin = GsuAnalysis::new(params).unwrap().evaluate(6000.0).unwrap().y;
+        let plugin = GsuAnalysis::new(params)
+            .unwrap()
+            .evaluate(6000.0)
+            .unwrap()
+            .y;
         assert!(
             (predictive - plugin).abs() < 0.01,
             "{predictive} vs {plugin}"
@@ -478,11 +485,7 @@ mod tests {
         };
         assert!(FaultRatePosterior::weakly_informative(0.0).is_err());
         assert!(post.observe(0, -1.0).is_err());
-        assert!(
-            posterior_predictive_y(&post, GsuParams::paper_baseline(), 1000.0, 0).is_err()
-        );
-        assert!(
-            robust_optimal_phi(&post, GsuParams::paper_baseline(), 1.5, 4, 2).is_err()
-        );
+        assert!(posterior_predictive_y(&post, GsuParams::paper_baseline(), 1000.0, 0).is_err());
+        assert!(robust_optimal_phi(&post, GsuParams::paper_baseline(), 1.5, 4, 2).is_err());
     }
 }

@@ -1,0 +1,63 @@
+//! End-to-end check that a full `GsuAnalysis` evaluation feeds the
+//! telemetry pipeline: the solver, uniformization, Fox–Glynn, and SAN
+//! generation layers must all leave footprints in an installed collector.
+//!
+//! Kept as a single test in its own binary: the telemetry sink is
+//! process-global, and a dedicated integration-test process avoids
+//! cross-talk with other tests.
+
+use performability::{GsuAnalysis, GsuParams};
+use telemetry::Collector;
+
+#[test]
+fn evaluate_records_solver_and_state_space_metrics() {
+    let collector = Collector::install();
+
+    let analysis = GsuAnalysis::new(GsuParams::paper_baseline()).expect("baseline builds");
+    // Small φ: λ·t fits the uniformization budget, exercising Fox–Glynn.
+    let near = analysis.evaluate(50.0).expect("small φ evaluates");
+    // Paper optimum: λ·t forces the dense matrix-exponential path.
+    let far = analysis.evaluate(7000.0).expect("optimum φ evaluates");
+    assert!(near.y.is_finite() && far.y.is_finite());
+
+    telemetry::clear_sink();
+
+    // Steady-state solver: the RMGp ρ solve runs during build.
+    assert!(collector.counter_value("solver.solves").unwrap_or(0) >= 1);
+    // Iterations: uniformization steps count toward the global work tally.
+    assert!(collector.counter_value("solver.iterations").unwrap_or(0) > 0);
+
+    // Both transient engines ran, and every Fox–Glynn window is non-empty.
+    assert!(
+        collector
+            .counter_value("markov.uniformization.solves")
+            .unwrap_or(0)
+            >= 1
+    );
+    assert!(collector.counter_value("markov.expm.solves").unwrap_or(0) >= 1);
+    assert!(collector.counter_value("fox_glynn.windows").unwrap_or(0) >= 1);
+    let window_len = collector
+        .histogram_snapshot("fox_glynn.window_len")
+        .expect("window lengths observed");
+    assert!(window_len.count >= 1);
+    assert!(window_len.min >= 1.0, "Fox–Glynn window must be non-empty");
+
+    // State-space generation: all three SAN models report their sizes.
+    for model in ["rmgd", "rmgp", "rmnd"] {
+        let states = collector
+            .gauge_value(&format!("san.states.{model}"))
+            .unwrap_or_else(|| panic!("missing san.states.{model}"));
+        assert!(states > 0.0, "model {model} generated no states");
+    }
+
+    // The per-φ evaluation span wraps the whole pipeline.
+    let spans = collector.spans();
+    assert!(spans.iter().any(|s| s.name == "performability.evaluate"));
+    assert!(spans
+        .iter()
+        .any(|s| s.name == "markov.transient.distribution"));
+    assert_eq!(
+        collector.counter_value("performability.evaluations"),
+        Some(2)
+    );
+}

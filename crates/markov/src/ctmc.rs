@@ -55,16 +55,12 @@ impl Ctmc {
         for (from, to, rate) in transitions {
             if from >= n || to >= n {
                 return Err(MarkovError::InvalidModel {
-                    context: format!(
-                        "transition ({from} -> {to}) outside state space 0..{n}"
-                    ),
+                    context: format!("transition ({from} -> {to}) outside state space 0..{n}"),
                 });
             }
             if !rate.is_finite() || rate < 0.0 {
                 return Err(MarkovError::InvalidModel {
-                    context: format!(
-                        "transition ({from} -> {to}) has invalid rate {rate}"
-                    ),
+                    context: format!("transition ({from} -> {to}) has invalid rate {rate}"),
                 });
             }
             if from == to {
@@ -138,7 +134,7 @@ impl Ctmc {
     /// maximum exit rate (which would produce negative probabilities) or not
     /// positive.
     pub fn uniformized(&self, lambda: f64) -> Result<Dtmc> {
-        if !(lambda > 0.0) || !lambda.is_finite() {
+        if !lambda.is_finite() || lambda <= 0.0 {
             return Err(MarkovError::InvalidModel {
                 context: format!("uniformization rate must be positive, got {lambda}"),
             });
@@ -146,9 +142,7 @@ impl Ctmc {
         let max_exit = self.max_exit_rate();
         if lambda < max_exit * (1.0 - 1e-12) {
             return Err(MarkovError::InvalidModel {
-                context: format!(
-                    "uniformization rate {lambda} below maximum exit rate {max_exit}"
-                ),
+                context: format!("uniformization rate {lambda} below maximum exit rate {max_exit}"),
             });
         }
         let mut coo = CooMatrix::new(self.n, self.n);

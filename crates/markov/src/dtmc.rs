@@ -78,7 +78,11 @@ impl Dtmc {
     pub fn from_matrix(p: CsrMatrix) -> Result<Self> {
         if p.rows() != p.cols() {
             return Err(MarkovError::InvalidModel {
-                context: format!("transition matrix must be square, got {}x{}", p.rows(), p.cols()),
+                context: format!(
+                    "transition matrix must be square, got {}x{}",
+                    p.rows(),
+                    p.cols()
+                ),
             });
         }
         for (r, c, v) in p.iter() {
@@ -160,8 +164,7 @@ impl Dtmc {
             });
         }
         // Uniqueness: exactly one terminal SCC.
-        let (component_of, components) =
-            crate::graph::strongly_connected_components(&self.p);
+        let (component_of, components) = crate::graph::strongly_connected_components(&self.p);
         let mut terminal = vec![true; components];
         for (u, v, w) in self.p.iter() {
             if w > 0.0 && component_of[u] != component_of[v] {
@@ -232,11 +235,7 @@ mod tests {
 
     #[test]
     fn step_preserves_mass() {
-        let p = Dtmc::from_rows(3, [
-            (0, 1, 0.5), (0, 2, 0.5),
-            (1, 0, 1.0),
-            (2, 2, 1.0),
-        ]).unwrap();
+        let p = Dtmc::from_rows(3, [(0, 1, 0.5), (0, 2, 0.5), (1, 0, 1.0), (2, 2, 1.0)]).unwrap();
         let pi = p.step(&[0.2, 0.3, 0.5]);
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert_eq!(pi, vec![0.3, 0.1, 0.6]);
@@ -278,11 +277,7 @@ mod tests {
 
     #[test]
     fn steady_state_with_transient_prefix() {
-        let p = Dtmc::from_rows(3, [
-            (0, 1, 1.0),
-            (1, 1, 0.5), (1, 2, 0.5),
-            (2, 1, 1.0),
-        ]).unwrap();
+        let p = Dtmc::from_rows(3, [(0, 1, 1.0), (1, 1, 0.5), (1, 2, 0.5), (2, 1, 1.0)]).unwrap();
         let pi = p.steady_state(100_000, 1e-13).unwrap();
         assert!(pi[0].abs() < 1e-6);
         assert!((pi[1] - 2.0 / 3.0).abs() < 1e-6);

@@ -47,7 +47,11 @@ const THETA13: f64 = 5.371_920_351_148_152;
 pub fn expm(a: &DenseMatrix) -> Result<DenseMatrix> {
     if a.rows() != a.cols() {
         return Err(MarkovError::InvalidModel {
-            context: format!("expm requires a square matrix, got {}x{}", a.rows(), a.cols()),
+            context: format!(
+                "expm requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            ),
         });
     }
     if !sparsela::vector::all_finite(a.as_slice()) {
@@ -127,7 +131,7 @@ pub fn expm_with_integral(a: &DenseMatrix) -> Result<(DenseMatrix, DenseMatrix)>
 ///
 /// Same failure modes as [`expm`].
 pub fn expm_with_integral_scaled(q: &DenseMatrix, t: f64) -> Result<(DenseMatrix, DenseMatrix)> {
-    if !(t >= 0.0) || !t.is_finite() {
+    if !t.is_finite() || t < 0.0 {
         return Err(MarkovError::InvalidModel {
             context: format!("time horizon must be finite and >= 0, got {t}"),
         });

@@ -273,14 +273,9 @@ mod tests {
         let nu = 0.8;
         let h = 2.0;
         let c = Ctmc::from_transitions(2, [(0, 1, nu)]).unwrap();
-        let got = truncated_mean_hitting_time(
-            &c,
-            &[1.0, 0.0],
-            &[1],
-            h,
-            &transient::Options::default(),
-        )
-        .unwrap();
+        let got =
+            truncated_mean_hitting_time(&c, &[1.0, 0.0], &[1], h, &transient::Options::default())
+                .unwrap();
         let want = 1.0 / nu - (-nu * h).exp() * (h + 1.0 / nu);
         assert!((got - want).abs() < 1e-9, "{got} vs {want}");
     }
@@ -291,14 +286,9 @@ mod tests {
         let nu = 0.5;
         let h = 1.0;
         let c = Ctmc::from_transitions(2, [(0, 1, nu)]).unwrap();
-        let truncated = truncated_mean_hitting_time(
-            &c,
-            &[1.0, 0.0],
-            &[1],
-            h,
-            &transient::Options::default(),
-        )
-        .unwrap();
+        let truncated =
+            truncated_mean_hitting_time(&c, &[1.0, 0.0], &[1], h, &transient::Options::default())
+                .unwrap();
         let censored = (1.0 - (-nu * h).exp()) / nu; // ∫₀^h P[T>t]dt
         assert!(truncated < censored);
         assert!(truncated >= 0.0);

@@ -130,6 +130,18 @@ impl PoissonWindow {
         let norm = 1.0 / trimmed_total;
         let weights: Vec<f64> = trimmed.iter().map(|w| w * norm).collect();
 
+        if telemetry::enabled() {
+            // The unnormalized weights are ratios anchored at the mode
+            // (w[mode] = 1), so the captured probability mass is
+            // trimmed_total · pmf(mode) and the truncated remainder follows.
+            let captured = trimmed_total * poisson_pmf(lambda, mode);
+            telemetry::counter("fox_glynn.windows", 1);
+            telemetry::observe("fox_glynn.window_len", weights.len() as f64);
+            telemetry::observe("fox_glynn.truncated_mass", (1.0 - captured).max(0.0));
+            telemetry::gauge("fox_glynn.last_lambda", lambda);
+            telemetry::gauge("fox_glynn.last_window_len", weights.len() as f64);
+        }
+
         Ok(PoissonWindow {
             left,
             right,
@@ -200,7 +212,8 @@ pub fn ln_factorial(k: usize) -> f64 {
     // Stirling series for ln Γ(x).
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+    (x - 0.5) * x.ln() - x
+        + 0.5 * (2.0 * std::f64::consts::PI).ln()
         + inv / 12.0 * (1.0 - inv2 / 30.0 * (1.0 - inv2 / 3.5))
 }
 
@@ -257,9 +270,7 @@ mod tests {
     fn mean_is_recovered() {
         let lambda = 500.0;
         let w = PoissonWindow::compute(lambda, 1e-13).unwrap();
-        let mean: f64 = (w.left..=w.right)
-            .map(|k| k as f64 * w.weight(k))
-            .sum();
+        let mean: f64 = (w.left..=w.right).map(|k| k as f64 * w.weight(k)).sum();
         assert!((mean - lambda).abs() < 1e-6 * lambda);
     }
 

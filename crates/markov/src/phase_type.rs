@@ -99,7 +99,7 @@ impl PhaseType {
     /// Propagates matrix-exponential failures; `t` must be non-negative and
     /// finite.
     pub fn cdf(&self, t: f64) -> Result<f64> {
-        if !(t >= 0.0) || !t.is_finite() {
+        if !t.is_finite() || t < 0.0 {
             return Err(MarkovError::InvalidModel {
                 context: format!("cdf time must be finite and >= 0, got {t}"),
             });
@@ -122,7 +122,7 @@ impl PhaseType {
     ///
     /// Same failure modes as [`PhaseType::cdf`].
     pub fn density(&self, t: f64) -> Result<f64> {
-        if !(t >= 0.0) || !t.is_finite() {
+        if !t.is_finite() || t < 0.0 {
             return Err(MarkovError::InvalidModel {
                 context: format!("density time must be finite and >= 0, got {t}"),
             });
@@ -290,12 +290,7 @@ impl PhaseType {
 
 /// Convenience: the phase-type law of hitting `targets` compared against
 /// the transient solver (used by tests; exposed for cross-validation).
-pub fn cdf_via_transient(
-    ctmc: &Ctmc,
-    pi0: &[f64],
-    targets: &[usize],
-    t: f64,
-) -> Result<f64> {
+pub fn cdf_via_transient(ctmc: &Ctmc, pi0: &[f64], targets: &[usize], t: f64) -> Result<f64> {
     crate::first_passage::hitting_probability_by(
         ctmc,
         pi0,

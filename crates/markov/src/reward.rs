@@ -152,7 +152,7 @@ impl RewardStructure {
     /// Returns [`MarkovError::InvalidModel`] for a non-positive interval or
     /// on state-count mismatches.
     pub fn time_averaged(&self, ctmc: &Ctmc, l: &[f64], t: f64) -> Result<f64> {
-        if !(t > 0.0) || !t.is_finite() {
+        if !t.is_finite() || t <= 0.0 {
             return Err(MarkovError::InvalidModel {
                 context: format!("time-averaged reward needs t > 0, got {t}"),
             });
@@ -170,7 +170,7 @@ impl RewardStructure {
                 ),
             });
         }
-        for (&(i, j), _) in &self.impulses {
+        for &(i, j) in self.impulses.keys() {
             if i >= ctmc.n_states() || j >= ctmc.n_states() {
                 return Err(MarkovError::InvalidModel {
                     context: format!("impulse on ({i} -> {j}) outside state space"),

@@ -90,7 +90,7 @@ pub fn simulate_path(
     rng: &mut ChainRng,
 ) -> Result<PathOutcome> {
     ctmc.check_distribution(pi0)?;
-    if !(horizon >= 0.0) || !horizon.is_finite() {
+    if !horizon.is_finite() || horizon < 0.0 {
         return Err(MarkovError::InvalidModel {
             context: format!("horizon must be finite and >= 0, got {horizon}"),
         });
@@ -215,8 +215,7 @@ impl AccumulatedRewardDistribution {
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile level in [0, 1]");
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         self.samples[rank - 1]
     }
 }
@@ -248,8 +247,7 @@ mod tests {
         let t = 5.0;
         let l = transient::occupancy(&c, &[1.0, 0.0], t, &Options::default()).unwrap();
         let analytic = r.accumulated(&c, &l).unwrap();
-        let d =
-            AccumulatedRewardDistribution::collect(&c, &[1.0, 0.0], &r, t, 4000, 11).unwrap();
+        let d = AccumulatedRewardDistribution::collect(&c, &[1.0, 0.0], &r, t, 4000, 11).unwrap();
         assert!(
             (d.mean() - analytic).abs() < 0.06,
             "simulated {} vs analytic {analytic}",
@@ -270,7 +268,7 @@ mod tests {
         let t = 2.0;
         let n = 4000;
         let d = AccumulatedRewardDistribution::collect(&c, &[1.0, 0.0], &r, t, n, 3).unwrap();
-        let want = 1.0 - (-mu * t as f64).exp();
+        let want = 1.0 - (-mu * t).exp();
         assert!((d.mean() - want).abs() < 0.03, "{} vs {want}", d.mean());
         // Each sample is exactly 0 or 1.
         assert!(d.cdf(0.5) > 0.0);
@@ -304,8 +302,7 @@ mod tests {
     fn cdf_and_quantiles_consistent() {
         let c = two_state();
         let r = RewardStructure::from_rates(vec![1.0, 0.0]);
-        let d =
-            AccumulatedRewardDistribution::collect(&c, &[0.5, 0.5], &r, 3.0, 1000, 7).unwrap();
+        let d = AccumulatedRewardDistribution::collect(&c, &[0.5, 0.5], &r, 3.0, 1000, 7).unwrap();
         let med = d.quantile(0.5);
         assert!(d.cdf(med) >= 0.5);
         assert!(d.quantile(0.0) <= d.quantile(1.0));

@@ -6,10 +6,11 @@ use sparsela::{vector, CsrMatrix, DenseMatrix};
 use crate::{graph, Ctmc, MarkovError, Result};
 
 /// Method used for steady-state solution of an irreducible CTMC.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum SteadyMethod {
     /// Dense LU on `πQ = 0` with one equation replaced by normalization.
     /// Exact; preferred for small chains.
+    #[default]
     Direct,
     /// Gauss–Seidel sweeps on `πQ = 0` with per-sweep normalization.
     GaussSeidel {
@@ -28,12 +29,6 @@ pub enum SteadyMethod {
         /// Convergence tolerance on the ∞-norm of iterate differences.
         tolerance: f64,
     },
-}
-
-impl Default for SteadyMethod {
-    fn default() -> Self {
-        SteadyMethod::Direct
-    }
 }
 
 /// Computes the long-run (steady-state) distribution of a CTMC.
@@ -88,19 +83,16 @@ pub fn steady_state(ctmc: &Ctmc, method: &SteadyMethod) -> Result<Vec<f64>> {
         pi[class[0]] = 1.0;
         return Ok(pi);
     }
-    let index_in_class: std::collections::HashMap<usize, usize> = class
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, i))
-        .collect();
+    let index_in_class: std::collections::HashMap<usize, usize> =
+        class.iter().enumerate().map(|(i, &s)| (s, i)).collect();
     let sub_transitions: Vec<(usize, usize, f64)> = ctmc
         .transitions()
-        .filter_map(|(u, v, r)| {
-            match (index_in_class.get(&u), index_in_class.get(&v)) {
+        .filter_map(
+            |(u, v, r)| match (index_in_class.get(&u), index_in_class.get(&v)) {
                 (Some(&iu), Some(&iv)) => Some((iu, iv, r)),
                 _ => None,
-            }
-        })
+            },
+        )
         .collect();
     let sub = Ctmc::from_transitions(class.len(), sub_transitions)?;
     let sub_pi = solve_irreducible(&sub, method)?;
@@ -127,7 +119,23 @@ fn solve_irreducible(ctmc: &Ctmc, method: &SteadyMethod) -> Result<Vec<f64>> {
     }
 }
 
+fn record_steady_solve(method: &str, iterations: usize, final_delta: f64, tolerance: f64) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter("solver.solves", 1);
+    telemetry::counter(&format!("solver.steady_{method}.solves"), 1);
+    if iterations > 0 {
+        telemetry::counter("solver.iterations", iterations as u64);
+        telemetry::observe("solver.final_delta", final_delta);
+        if final_delta > 0.0 {
+            telemetry::observe("solver.tolerance_headroom", tolerance / final_delta);
+        }
+    }
+}
+
 fn direct(ctmc: &Ctmc) -> Result<Vec<f64>> {
+    record_steady_solve("direct", 0, 0.0, 0.0);
     let n = ctmc.n_states();
     // Solve Qᵀ x = 0 with the last equation replaced by Σx = 1.
     let mut a = DenseMatrix::zeros(n, n);
@@ -180,9 +188,12 @@ fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
         vector::normalize_l1(&mut pi);
         if delta <= options.tolerance && it > 1 {
             cleanup(&mut pi);
+            let method = if omega == 1.0 { "gauss_seidel" } else { "sor" };
+            record_steady_solve(method, it, delta, options.tolerance);
             return Ok(pi);
         }
     }
+    telemetry::counter("solver.not_converged", 1);
     Err(MarkovError::LinAlg(sparsela::LinAlgError::NotConverged {
         iterations: options.max_iterations,
         residual: delta,
@@ -199,16 +210,18 @@ fn power(ctmc: &Ctmc, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>>
     let mut pi = vec![1.0 / n as f64; n];
     let mut next = vec![0.0; n];
     let mut delta = f64::INFINITY;
-    for _ in 0..max_iterations {
+    for it in 1..=max_iterations {
         p.step_into(&pi, &mut next);
         delta = vector::diff_norm_inf(&pi, &next);
         std::mem::swap(&mut pi, &mut next);
         if delta <= tolerance {
             vector::normalize_l1(&mut pi);
             cleanup(&mut pi);
+            record_steady_solve("power", it, delta, tolerance);
             return Ok(pi);
         }
     }
+    telemetry::counter("solver.not_converged", 1);
     Err(MarkovError::LinAlg(sparsela::LinAlgError::NotConverged {
         iterations: max_iterations,
         residual: delta,
@@ -328,16 +341,10 @@ pub fn absorbing_analysis(ctmc: &Ctmc) -> Result<AbsorbingAnalysis> {
 
     let t = transient.len();
     let a = absorbing.len();
-    let index_of_transient: std::collections::HashMap<usize, usize> = transient
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, i))
-        .collect();
-    let index_of_absorbing: std::collections::HashMap<usize, usize> = absorbing
-        .iter()
-        .enumerate()
-        .map(|(j, &s)| (s, j))
-        .collect();
+    let index_of_transient: std::collections::HashMap<usize, usize> =
+        transient.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let index_of_absorbing: std::collections::HashMap<usize, usize> =
+        absorbing.iter().enumerate().map(|(j, &s)| (s, j)).collect();
 
     // Assemble −Q_TT (dense) and Q_TA.
     let mut neg_qtt = DenseMatrix::zeros(t, t);
@@ -431,8 +438,10 @@ mod tests {
             },
         )
         .unwrap();
-        let mut sor_opts = IterOptions::default();
-        sor_opts.relaxation = 1.2;
+        let sor_opts = IterOptions {
+            relaxation: 1.2,
+            ..Default::default()
+        };
         let s = steady_state(&c, &SteadyMethod::Sor { options: sor_opts }).unwrap();
         let p = steady_state(
             &c,
@@ -461,8 +470,7 @@ mod tests {
     fn unichain_with_transient_prefix() {
         // 0 → {1, 2} cycle: state 0 is transient, long-run mass sits on the
         // 1 <-> 2 cycle with rates 1 and 3 ⇒ π = (0, 3/4, 1/4).
-        let c =
-            Ctmc::from_transitions(3, [(0, 1, 5.0), (1, 2, 1.0), (2, 1, 3.0)]).unwrap();
+        let c = Ctmc::from_transitions(3, [(0, 1, 5.0), (1, 2, 1.0), (2, 1, 3.0)]).unwrap();
         for method in [
             SteadyMethod::Direct,
             SteadyMethod::Power {

@@ -78,7 +78,12 @@ pub fn distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<
     if t == 0.0 || ctmc.max_exit_rate() == 0.0 {
         return Ok(pi0.to_vec());
     }
-    match select_method(ctmc, t, opts)? {
+    let method = select_method(ctmc, t, opts)?;
+    let mut span = telemetry::span("markov.transient.distribution");
+    span.record("states", ctmc.n_states());
+    span.record("t", t);
+    span.record("method", method_name(method));
+    match method {
         Method::Uniformization => uniformized_distribution(ctmc, pi0, t, opts),
         Method::MatrixExponential => expm_distribution(ctmc, pi0, t, opts),
         Method::Auto => unreachable!("select_method resolves Auto"),
@@ -102,10 +107,23 @@ pub fn occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec
     if ctmc.max_exit_rate() == 0.0 {
         return Ok(pi0.iter().map(|p| p * t).collect());
     }
-    match select_method(ctmc, t, opts)? {
+    let method = select_method(ctmc, t, opts)?;
+    let mut span = telemetry::span("markov.transient.occupancy");
+    span.record("states", ctmc.n_states());
+    span.record("t", t);
+    span.record("method", method_name(method));
+    match method {
         Method::Uniformization => uniformized_occupancy(ctmc, pi0, t, opts),
         Method::MatrixExponential => expm_occupancy(ctmc, pi0, t, opts),
         Method::Auto => unreachable!("select_method resolves Auto"),
+    }
+}
+
+fn method_name(m: Method) -> &'static str {
+    match m {
+        Method::Auto => "auto",
+        Method::Uniformization => "uniformization",
+        Method::MatrixExponential => "matrix_exponential",
     }
 }
 
@@ -152,7 +170,7 @@ pub fn distribution_at_times(
 }
 
 fn check_time(t: f64) -> Result<()> {
-    if !(t >= 0.0) || !t.is_finite() {
+    if !t.is_finite() || t < 0.0 {
         return Err(MarkovError::InvalidModel {
             context: format!("time horizon must be finite and >= 0, got {t}"),
         });
@@ -220,10 +238,24 @@ fn uniformization_rate(ctmc: &Ctmc) -> f64 {
     ctmc.max_exit_rate() * 1.02
 }
 
+fn record_uniformization(lambda: f64, window: &PoissonWindow) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter("markov.uniformization.solves", 1);
+    telemetry::gauge("markov.uniformization.rate", lambda);
+    telemetry::observe("markov.uniformization.steps", (window.right + 1) as f64);
+    // Each uniformization step is one vector–matrix product: the transient
+    // engine's analogue of a linear-solver sweep. Counting it here keeps
+    // `solver.iterations` a global work tally across all solve flavours.
+    telemetry::counter("solver.iterations", (window.right + 1) as u64);
+}
+
 fn uniformized_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
     let lambda = uniformization_rate(ctmc);
     let p = ctmc.uniformized(lambda)?;
     let window = PoissonWindow::compute(lambda * t, opts.epsilon)?;
+    record_uniformization(lambda, &window);
 
     let n = ctmc.n_states();
     let mut cur = pi0.to_vec();
@@ -259,6 +291,7 @@ fn uniformized_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Re
     let lambda = uniformization_rate(ctmc);
     let p = ctmc.uniformized(lambda)?;
     let window = PoissonWindow::compute(lambda * t, opts.epsilon)?;
+    record_uniformization(lambda, &window);
     let tails = window.right_tails();
 
     let n = ctmc.n_states();
@@ -302,6 +335,7 @@ fn uniformized_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Re
 }
 
 fn expm_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    telemetry::counter("markov.expm.solves", 1);
     let q = ctmc
         .generator()
         .to_dense_checked(opts.dense_state_limit * opts.dense_state_limit)
@@ -315,6 +349,7 @@ fn expm_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result
 }
 
 fn expm_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
+    telemetry::counter("markov.expm.solves", 1);
     let q = ctmc
         .generator()
         .to_dense_checked(opts.dense_state_limit * opts.dense_state_limit)
@@ -357,8 +392,10 @@ mod tests {
     #[test]
     fn matches_closed_form_uniformization() {
         let c = two_state();
-        let mut opts = Options::default();
-        opts.method = Method::Uniformization;
+        let opts = Options {
+            method: Method::Uniformization,
+            ..Default::default()
+        };
         for &t in &[0.01, 0.1, 0.5, 1.0, 5.0] {
             let pi = distribution(&c, &[1.0, 0.0], t, &opts).unwrap();
             assert!(
@@ -373,8 +410,10 @@ mod tests {
     #[test]
     fn matches_closed_form_expm() {
         let c = two_state();
-        let mut opts = Options::default();
-        opts.method = Method::MatrixExponential;
+        let opts = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
         for &t in &[0.01, 0.5, 5.0] {
             let pi = distribution(&c, &[1.0, 0.0], t, &opts).unwrap();
             assert!((pi[0] - two_state_p0(t)).abs() < 1e-9);
@@ -391,10 +430,14 @@ mod tests {
         let pi0 = c.point_distribution(0);
         let t = 3.0;
 
-        let mut uopts = Options::default();
-        uopts.method = Method::Uniformization;
-        let mut eopts = Options::default();
-        eopts.method = Method::MatrixExponential;
+        let uopts = Options {
+            method: Method::Uniformization,
+            ..Default::default()
+        };
+        let eopts = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
 
         let pu = distribution(&c, &pi0, t, &uopts).unwrap();
         let pe = distribution(&c, &pi0, t, &eopts).unwrap();
@@ -429,13 +472,21 @@ mod tests {
         let (a, b): (f64, f64) = (2.0, 3.0);
         let t = 1.25;
         let want = b / (a + b) * t + a / (a + b) / (a + b) * (1.0 - (-(a + b) * t).exp());
-        let mut uopts = Options::default();
-        uopts.method = Method::Uniformization;
-        let mut eopts = Options::default();
-        eopts.method = Method::MatrixExponential;
+        let uopts = Options {
+            method: Method::Uniformization,
+            ..Default::default()
+        };
+        let eopts = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
         let lu = occupancy(&c, &[1.0, 0.0], t, &uopts).unwrap();
         let le = occupancy(&c, &[1.0, 0.0], t, &eopts).unwrap();
-        assert!((lu[0] - want).abs() < 1e-8, "uniformization: {} vs {want}", lu[0]);
+        assert!(
+            (lu[0] - want).abs() < 1e-8,
+            "uniformization: {} vs {want}",
+            lu[0]
+        );
         assert!((le[0] - want).abs() < 1e-8, "expm: {} vs {want}", le[0]);
     }
 
@@ -445,8 +496,10 @@ mod tests {
         let c = Ctmc::from_transitions(2, [(0, 1, 5000.0), (1, 0, 1000.0)]).unwrap();
         let pi = distribution(&c, &[1.0, 0.0], 10_000.0, &Options::default()).unwrap();
         assert!((pi[0] - 1.0 / 6.0).abs() < 1e-6);
-        let mut forced = Options::default();
-        forced.method = Method::Uniformization;
+        let forced = Options {
+            method: Method::Uniformization,
+            ..Default::default()
+        };
         assert!(matches!(
             distribution(&c, &[1.0, 0.0], 10_000.0, &forced),
             Err(MarkovError::LimitExceeded { .. })
@@ -495,9 +548,11 @@ mod tests {
     #[test]
     fn steady_state_detection_matches_exact() {
         let c = two_state();
-        let mut with_sse = Options::default();
-        with_sse.method = Method::Uniformization;
-        with_sse.steady_state_detection = true;
+        let with_sse = Options {
+            method: Method::Uniformization,
+            steady_state_detection: true,
+            ..Default::default()
+        };
         let mut without = with_sse.clone();
         without.steady_state_detection = false;
         let t = 50.0; // far past mixing
@@ -512,15 +567,11 @@ mod tests {
     fn at_times_matches_independent_solves() {
         let c = two_state();
         let times = [0.0, 0.2, 0.2, 1.0, 4.0];
-        let batch =
-            distribution_at_times(&c, &[1.0, 0.0], &times, &Options::default()).unwrap();
+        let batch = distribution_at_times(&c, &[1.0, 0.0], &times, &Options::default()).unwrap();
         assert_eq!(batch.len(), times.len());
         for (&t, pi) in times.iter().zip(&batch) {
             let solo = distribution(&c, &[1.0, 0.0], t, &Options::default()).unwrap();
-            assert!(
-                sparsela::vector::diff_norm_inf(pi, &solo) < 1e-9,
-                "t={t}"
-            );
+            assert!(sparsela::vector::diff_norm_inf(pi, &solo) < 1e-9, "t={t}");
         }
     }
 

@@ -30,12 +30,16 @@ proptest! {
     #[test]
     fn transient_engines_agree(chain in arb_ctmc(5, 3.0), t in 0.01..20.0f64) {
         let pi0 = chain.point_distribution(0);
-        let mut uni = Options::default();
-        uni.method = Method::Uniformization;
-        uni.max_uniformization_steps = 50_000_000;
-        uni.steady_state_detection = false;
-        let mut exp = Options::default();
-        exp.method = Method::MatrixExponential;
+        let uni = Options {
+            method: Method::Uniformization,
+            max_uniformization_steps: 50_000_000,
+            steady_state_detection: false,
+            ..Default::default()
+        };
+        let exp = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
 
         let a = transient::distribution(&chain, &pi0, t, &uni).unwrap();
         let b = transient::distribution(&chain, &pi0, t, &exp).unwrap();
@@ -51,12 +55,16 @@ proptest! {
         t in 0.1..10.0f64,
     ) {
         let pi0 = chain.point_distribution(0);
-        let mut uni = Options::default();
-        uni.method = Method::Uniformization;
-        uni.max_uniformization_steps = 50_000_000;
-        uni.steady_state_detection = false;
-        let mut exp = Options::default();
-        exp.method = Method::MatrixExponential;
+        let uni = Options {
+            method: Method::Uniformization,
+            max_uniformization_steps: 50_000_000,
+            steady_state_detection: false,
+            ..Default::default()
+        };
+        let exp = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
 
         let a = transient::occupancy(&chain, &pi0, t, &uni).unwrap();
         let b = transient::occupancy(&chain, &pi0, t, &exp).unwrap();

@@ -186,8 +186,12 @@ mod tests {
     fn probability_at_complements() {
         let (m, up) = up_down(1.0, 1.0);
         let an = Analyzer::generate(&m, &Default::default()).unwrap();
-        let p_up = an.probability_at(0.7, move |mk| mk.tokens(up) == 1).unwrap();
-        let p_down = an.probability_at(0.7, move |mk| mk.tokens(up) == 0).unwrap();
+        let p_up = an
+            .probability_at(0.7, move |mk| mk.tokens(up) == 1)
+            .unwrap();
+        let p_down = an
+            .probability_at(0.7, move |mk| mk.tokens(up) == 0)
+            .unwrap();
         assert!((p_up + p_down - 1.0).abs() < 1e-12);
     }
 

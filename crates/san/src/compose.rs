@@ -303,14 +303,14 @@ mod tests {
         let up_places: Vec<_> = (0..n)
             .map(|i| model.find_place(&format!("m{i}/up")).unwrap())
             .collect();
-        for k in 0..=n {
+        for (k, &wk) in weights.iter().enumerate() {
             let ups = up_places.clone();
             let spec = RewardSpec::new().rate_when(
                 move |mk| ups.iter().filter(|&&p| mk.tokens(p) == 0).count() == k,
                 1.0,
             );
             let got = analyzer.steady_reward(&spec).unwrap();
-            let want = weights[k] / z;
+            let want = wk / z;
             assert!((got - want).abs() < 1e-10, "k={k}: {got} vs {want}");
         }
     }

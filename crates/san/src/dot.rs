@@ -87,10 +87,7 @@ pub fn model_to_dot(model: &SanModel) -> String {
             }
             if !case.output_gates.is_empty() && case.output_arcs.is_empty() {
                 // Make gate-only effects visible as a dashed self-edge.
-                let _ = writeln!(
-                    out,
-                    "  a{ai} -> a{ai} [style=dashed, label=\"gate\"];"
-                );
+                let _ = writeln!(out, "  a{ai} -> a{ai} [style=dashed, label=\"gate\"];");
             }
         }
     }

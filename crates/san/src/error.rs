@@ -40,7 +40,10 @@ impl fmt::Display for SanError {
         match self {
             SanError::InvalidModel { context } => write!(f, "invalid SAN model: {context}"),
             SanError::StateSpaceLimit { limit } => {
-                write!(f, "state space exceeded the configured limit of {limit} tangible states")
+                write!(
+                    f,
+                    "state space exceeded the configured limit of {limit} tangible states"
+                )
             }
             SanError::VanishingLoop { depth, activity } => write!(
                 f,

@@ -23,7 +23,6 @@ impl PlaceId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ActivityId(usize);
 
-
 /// Identifier of an input gate within a [`SanModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InputGateId(usize);
@@ -290,7 +289,7 @@ impl Activity {
             });
         }
         if let ActivityKind::Instantaneous { weight, .. } = self.kind {
-            if !(weight > 0.0) || !weight.is_finite() {
+            if !weight.is_finite() || weight <= 0.0 {
                 return Err(SanError::InvalidModel {
                     context: format!(
                         "instantaneous activity '{}' has invalid weight {weight}",
@@ -426,10 +425,7 @@ impl SanModel {
         for g in &activity.input_gates {
             if g.0 >= self.input_gates.len() {
                 return Err(SanError::InvalidModel {
-                    context: format!(
-                        "activity '{}': unknown input gate #{}",
-                        activity.name, g.0
-                    ),
+                    context: format!("activity '{}': unknown input gate #{}", activity.name, g.0),
                 });
             }
         }
@@ -485,10 +481,7 @@ impl SanModel {
 
     /// Looks a place up by name.
     pub fn find_place(&self, name: &str) -> Option<PlaceId> {
-        self.places
-            .iter()
-            .position(|p| p.name == name)
-            .map(PlaceId)
+        self.places.iter().position(|p| p.name == name).map(PlaceId)
     }
 
     /// The initial marking (each place at its declared initial token count).
@@ -544,7 +537,12 @@ impl fmt::Display for SanModel {
                     format!("instantaneous(prio {priority}, w {weight})")
                 }
             };
-            writeln!(f, "  activity {} [{kind}], {} case(s)", a.name, a.cases.len())?;
+            writeln!(
+                f,
+                "  activity {} [{kind}], {} case(s)",
+                a.name,
+                a.cases.len()
+            )?;
         }
         Ok(())
     }
@@ -626,7 +624,9 @@ mod tests {
     fn priority_and_weight_apply_only_to_instantaneous() {
         let t = Activity::timed("t", 1.0).with_priority(5).with_weight(2.0);
         assert_eq!(t.kind, ActivityKind::Timed);
-        let i = Activity::instantaneous("i").with_priority(5).with_weight(2.0);
+        let i = Activity::instantaneous("i")
+            .with_priority(5)
+            .with_weight(2.0);
         assert_eq!(
             i.kind,
             ActivityKind::Instantaneous {

@@ -79,6 +79,8 @@ impl StateSpace {
     /// * [`SanError::InvalidFunction`] when a rate or case probability
     ///   evaluates to an invalid value.
     pub fn generate(model: &SanModel, opts: &ReachabilityOptions) -> Result<Self> {
+        let mut span = telemetry::span("san.generate");
+        span.record("model", model.name());
         let mut states: Vec<Marking> = Vec::new();
         let mut index: HashMap<Marking, usize> = HashMap::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
@@ -87,9 +89,9 @@ impl StateSpace {
         let mut dropped_self_loop_rate = 0.0;
 
         let intern = |mk: Marking,
-                          states: &mut Vec<Marking>,
-                          index: &mut HashMap<Marking, usize>,
-                          queue: &mut VecDeque<usize>|
+                      states: &mut Vec<Marking>,
+                      index: &mut HashMap<Marking, usize>,
+                      queue: &mut VecDeque<usize>|
          -> usize {
             if let Some(&i) = index.get(&mk) {
                 return i;
@@ -141,6 +143,28 @@ impl StateSpace {
         }
 
         let n = states.len();
+        if telemetry::enabled() {
+            let slug = model.name().to_lowercase().replace([' ', '/'], "_");
+            telemetry::counter("san.generations", 1);
+            telemetry::counter("san.states.generated", n as u64);
+            telemetry::counter("san.transitions.generated", transitions.len() as u64);
+            telemetry::gauge(&format!("san.states.{slug}"), n as f64);
+            telemetry::gauge(&format!("san.transitions.{slug}"), transitions.len() as f64);
+            telemetry::gauge(
+                &format!("san.dropped_self_loop_rate.{slug}"),
+                dropped_self_loop_rate,
+            );
+            span.record("states", n);
+            span.record("transitions", transitions.len());
+            span.record("dropped_self_loop_rate", dropped_self_loop_rate);
+            if dropped_self_loop_rate > 0.0 {
+                telemetry::warning(&format!(
+                    "model {}: dropped tangible self-loop rate {dropped_self_loop_rate:.6e} \
+                     during reachability generation",
+                    model.name()
+                ));
+            }
+        }
         let ctmc = Ctmc::from_transitions(n, transitions)?;
         let mut initial_distribution = vec![0.0; n];
         for (i, p) in initial_pairs {
@@ -236,7 +260,11 @@ impl StateSpace {
     ///
     /// Panics if `pi.len() != self.n_states()`.
     pub fn activity_throughput(&self, pi: &[f64], activity: ActivityId) -> f64 {
-        assert_eq!(pi.len(), self.n_states(), "activity_throughput: length mismatch");
+        assert_eq!(
+            pi.len(),
+            self.n_states(),
+            "activity_throughput: length mismatch"
+        );
         self.flows
             .iter()
             .filter(|f| f.activity == activity)
@@ -384,9 +412,15 @@ mod tests {
 
         let ss = StateSpace::generate(&m, &Default::default()).unwrap();
         assert_eq!(ss.n_states(), 3);
-        let src = ss.state_of(&Marking::from_tokens(vec![1, 0, 0, 0])).unwrap();
-        let sa = ss.state_of(&Marking::from_tokens(vec![0, 0, 1, 0])).unwrap();
-        let sb = ss.state_of(&Marking::from_tokens(vec![0, 0, 0, 1])).unwrap();
+        let src = ss
+            .state_of(&Marking::from_tokens(vec![1, 0, 0, 0]))
+            .unwrap();
+        let sa = ss
+            .state_of(&Marking::from_tokens(vec![0, 0, 1, 0]))
+            .unwrap();
+        let sb = ss
+            .state_of(&Marking::from_tokens(vec![0, 0, 0, 1]))
+            .unwrap();
         assert!((ss.ctmc().generator().get(src, sa) - 1.5).abs() < 1e-12);
         assert!((ss.ctmc().generator().get(src, sb) - 3.5).abs() < 1e-12);
     }
@@ -460,10 +494,7 @@ mod tests {
         m.add_activity(
             Activity::timed("maybe", 4.0)
                 .with_case(Case::with_probability(0.5)) // no effect: self-loop
-                .with_case(
-                    Case::with_probability(0.5)
-                        .with_output_arc(q, 1),
-                )
+                .with_case(Case::with_probability(0.5).with_output_arc(q, 1))
                 .with_enabling(move |mk| mk.tokens(q) == 0 && mk.tokens(p) == 1),
         )
         .unwrap();

@@ -231,9 +231,7 @@ mod tests {
         let mut m = SanModel::new("selfloop");
         let p = m.add_place("p", 1);
         let spin = m
-            .add_activity(
-                Activity::timed("spin", 3.0).with_enabling(move |mk| mk.tokens(p) == 1),
-            )
+            .add_activity(Activity::timed("spin", 3.0).with_enabling(move |mk| mk.tokens(p) == 1))
             .unwrap();
         let ss = StateSpace::generate(&m, &Default::default()).unwrap();
         assert_eq!(ss.n_states(), 1);

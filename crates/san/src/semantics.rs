@@ -21,10 +21,7 @@ pub(crate) fn is_enabled(model: &SanModel, activity: &Activity, marking: &Markin
 /// Enabled timed activities with their (validated) rates. Timed activities
 /// are suppressed while any instantaneous activity is enabled (maximal
 /// progress).
-pub(crate) fn enabled_timed(
-    model: &SanModel,
-    marking: &Marking,
-) -> Result<Vec<(ActivityId, f64)>> {
+pub(crate) fn enabled_timed(model: &SanModel, marking: &Marking) -> Result<Vec<(ActivityId, f64)>> {
     let mut out = Vec::new();
     for id in model.activity_ids() {
         let a = model.activity(id);
@@ -265,10 +262,18 @@ mod tests {
     #[test]
     fn instantaneous_weights_normalize() {
         let (mut m, p) = model_with_counter();
-        m.add_activity(Activity::instantaneous("a").with_weight(1.0).with_input_arc(p, 1))
-            .unwrap();
-        m.add_activity(Activity::instantaneous("b").with_weight(3.0).with_input_arc(p, 1))
-            .unwrap();
+        m.add_activity(
+            Activity::instantaneous("a")
+                .with_weight(1.0)
+                .with_input_arc(p, 1),
+        )
+        .unwrap();
+        m.add_activity(
+            Activity::instantaneous("b")
+                .with_weight(3.0)
+                .with_input_arc(p, 1),
+        )
+        .unwrap();
         let enabled = enabled_instantaneous(&m, &m.initial_marking()).unwrap();
         assert_eq!(enabled.len(), 2);
         assert!((enabled[0].1 - 0.25).abs() < 1e-15);
@@ -315,10 +320,18 @@ mod tests {
             .add_activity(
                 Activity::timed("a", 1.0)
                     .with_case(Case::with_probability_fn(move |mk| {
-                        if mk.tokens(p) > 0 { 1.0 } else { 0.0 }
+                        if mk.tokens(p) > 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
                     }))
                     .with_case(Case::with_probability_fn(move |mk| {
-                        if mk.tokens(p) == 0 { 1.0 } else { 0.0 }
+                        if mk.tokens(p) == 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
                     })),
             )
             .unwrap();
@@ -349,13 +362,11 @@ mod tests {
         });
         let id = m
             .add_activity(
-                Activity::timed("a", 1.0)
-                    .with_input_arc(p, 1)
-                    .with_case(
-                        Case::with_probability(1.0)
-                            .with_output_arc(p, 1)
-                            .with_output_gate(og),
-                    ),
+                Activity::timed("a", 1.0).with_input_arc(p, 1).with_case(
+                    Case::with_probability(1.0)
+                        .with_output_arc(p, 1)
+                        .with_output_gate(og),
+                ),
             )
             .unwrap();
         let fired = fire(&m, id, 0, &m.initial_marking()).unwrap();

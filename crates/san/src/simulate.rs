@@ -309,7 +309,7 @@ pub fn estimate_steady_reward(
             context: format!("batch-means needs >= 2 batches, got {batches}"),
         });
     }
-    if !(batch_length > 0.0) || !batch_length.is_finite() {
+    if !batch_length.is_finite() || batch_length <= 0.0 {
         return Err(SanError::InvalidModel {
             context: format!("batch length must be finite and > 0, got {batch_length}"),
         });
@@ -418,8 +418,7 @@ mod tests {
             .instant_reward(&spec, t)
             .unwrap();
         let spec2 = RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 1, 1.0);
-        let est =
-            estimate_instant_reward(&m, &spec2, t, 4000, 7, &Default::default()).unwrap();
+        let est = estimate_instant_reward(&m, &spec2, t, 4000, 7, &Default::default()).unwrap();
         assert!(
             (est.mean - analytic).abs() < est.half_width_95.max(0.03),
             "simulated {} ± {} vs analytic {analytic}",
@@ -457,8 +456,7 @@ mod tests {
             .steady_reward(&spec)
             .unwrap(); // 1.5/2.0 = 0.75
         let spec2 = RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 1, 1.0);
-        let est = estimate_steady_reward(&m, &spec2, 200.0, 20, 13, &Default::default())
-            .unwrap();
+        let est = estimate_steady_reward(&m, &spec2, 200.0, 20, 13, &Default::default()).unwrap();
         assert_eq!(est.replications, 20);
         assert!(
             (est.mean - analytic).abs() < (3.0 * est.half_width_95).max(0.02),
@@ -474,9 +472,7 @@ mod tests {
         let spec = RewardSpec::new();
         assert!(estimate_steady_reward(&m, &spec, 10.0, 1, 1, &Default::default()).is_err());
         assert!(estimate_steady_reward(&m, &spec, 0.0, 5, 1, &Default::default()).is_err());
-        assert!(
-            estimate_steady_reward(&m, &spec, f64::NAN, 5, 1, &Default::default()).is_err()
-        );
+        assert!(estimate_steady_reward(&m, &spec, f64::NAN, 5, 1, &Default::default()).is_err());
     }
 
     #[test]

@@ -56,10 +56,7 @@ pub fn dead_timed_activities(model: &SanModel, space: &StateSpace) -> Vec<Activi
     model
         .activity_ids()
         .filter(|id| {
-            matches!(
-                model.activity_kind_of(*id),
-                crate::ActivityKind::Timed
-            ) && !live.contains(id)
+            matches!(model.activity_kind_of(*id), crate::ActivityKind::Timed) && !live.contains(id)
         })
         .collect()
 }

@@ -78,13 +78,13 @@ mod tests {
     fn gamma_modes() {
         let c = SimConfig::new(GsuParams::paper_baseline(), 5000.0).unwrap();
         assert_eq!(c.gamma_for(2500.0), 0.75);
-        assert_eq!(c.with_gamma(GammaMode::Constant(0.5)).gamma_for(2500.0), 0.5);
+        assert_eq!(
+            c.with_gamma(GammaMode::Constant(0.5)).gamma_for(2500.0),
+            0.5
+        );
         assert_eq!(c.with_gamma(GammaMode::None).gamma_for(2500.0), 1.0);
         // Clamping.
         assert_eq!(c.gamma_for(20_000.0), 0.0);
-        assert_eq!(
-            c.with_gamma(GammaMode::Constant(3.0)).gamma_for(0.0),
-            1.0
-        );
+        assert_eq!(c.with_gamma(GammaMode::Constant(3.0)).gamma_for(0.0), 1.0);
     }
 }

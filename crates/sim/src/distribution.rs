@@ -78,8 +78,7 @@ impl WorthDistribution {
         if self.samples.is_empty() {
             return f64::NAN;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         self.samples[rank - 1]
     }
 
@@ -90,8 +89,7 @@ impl WorthDistribution {
 
     /// The atom at zero, `P[W = 0]` — the worthless `S3` mass.
     pub fn zero_mass(&self) -> f64 {
-        self.samples.iter().take_while(|&&w| w == 0.0).count() as f64
-            / self.samples.len() as f64
+        self.samples.iter().take_while(|&&w| w == 0.0).count() as f64 / self.samples.len() as f64
     }
 
     /// A fixed-width ASCII histogram over `[0, 2θ]` with `bins` bins.
@@ -134,8 +132,7 @@ pub fn compare_guarded_unguarded(
     replications: usize,
     seed: u64,
 ) -> Result<(WorthDistribution, WorthDistribution), performability::PerfError> {
-    let guarded =
-        WorthDistribution::collect(&SimConfig::new(params, phi)?, replications, seed);
+    let guarded = WorthDistribution::collect(&SimConfig::new(params, phi)?, replications, seed);
     let unguarded = WorthDistribution::collect(
         &SimConfig::new(params, 0.0)?,
         replications,
@@ -175,9 +172,16 @@ mod tests {
         let params = GsuParams::paper_baseline();
         let cfg = SimConfig::new(params, 7000.0).unwrap();
         let d = WorthDistribution::collect(&cfg, 3000, 9);
-        let mc = MonteCarlo::new(cfg).with_replications(3000).with_seed(9).run();
-        assert!((d.zero_mass() - mc.p_s3).abs() < 1e-9,
-            "atom {} vs P(S3) {}", d.zero_mass(), mc.p_s3);
+        let mc = MonteCarlo::new(cfg)
+            .with_replications(3000)
+            .with_seed(9)
+            .run();
+        assert!(
+            (d.zero_mass() - mc.p_s3).abs() < 1e-9,
+            "atom {} vs P(S3) {}",
+            d.zero_mass(),
+            mc.p_s3
+        );
         assert!((d.mean() - mc.mean_worth).abs() < 1e-9);
     }
 
@@ -195,8 +199,7 @@ mod tests {
     #[test]
     fn guarding_removes_mass_from_zero() {
         let params = GsuParams::paper_baseline();
-        let (guarded, unguarded) =
-            compare_guarded_unguarded(params, 7000.0, 2500, 3).unwrap();
+        let (guarded, unguarded) = compare_guarded_unguarded(params, 7000.0, 2500, 3).unwrap();
         // Unguarded: failure nullifies worth with prob ≈ 1 − e^{−1} ≈ 0.63.
         assert!((unguarded.zero_mass() - 0.632).abs() < 0.04);
         // Guarding converts most of that atom into discounted S2 worth.

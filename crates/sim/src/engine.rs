@@ -44,6 +44,9 @@ pub struct RunOutcome {
 }
 
 /// Index of the three processes.
+// The paper names the processes P1new/P1old/P2; keep its vocabulary even
+// though every variant shares the enum's `P` prefix.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum P {
     P1New = 0,
@@ -191,6 +194,8 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> RunOutcome {
+        let started = telemetry::enabled().then(std::time::Instant::now);
+        let mut events: u64 = 0;
         let params = self.cfg.params;
         let theta = params.theta;
         let phi = self.cfg.phi;
@@ -230,15 +235,26 @@ impl<'a> Engine<'a> {
             }
             for which in [P::P1New, P::P1Old, P::P2] {
                 let ps = self.procs[which as usize];
-                consider(ps.fault_time, Ev::Fault(which), &mut next_time, &mut next_ev);
+                consider(
+                    ps.fault_time,
+                    Ev::Fault(which),
+                    &mut next_time,
+                    &mut next_ev,
+                );
                 if let Some((done, _)) = ps.block {
                     consider(done, Ev::BlockDone(which), &mut next_time, &mut next_ev);
                 } else if self.sends_messages(which) {
-                    consider(ps.next_msg, Ev::Message(which), &mut next_time, &mut next_ev);
+                    consider(
+                        ps.next_msg,
+                        Ev::Message(which),
+                        &mut next_time,
+                        &mut next_ev,
+                    );
                 }
             }
 
             self.t = next_time;
+            events += 1;
             match next_ev {
                 Ev::End => break,
                 Ev::PhiBoundary => {
@@ -265,6 +281,14 @@ impl<'a> Engine<'a> {
             }
         }
 
+        if let Some(start) = started {
+            let secs = start.elapsed().as_secs_f64();
+            telemetry::counter("sim.engine.runs", 1);
+            telemetry::counter("sim.engine.events", events);
+            if secs > 0.0 {
+                telemetry::observe("sim.engine.events_per_sec", events as f64 / secs);
+            }
+        }
         self.finish()
     }
 
@@ -291,9 +315,7 @@ impl<'a> Engine<'a> {
 
         match self.mode {
             Mode::Gop => self.gop_message(which, external),
-            Mode::NormalUpgraded | Mode::NormalRecovered => {
-                self.normal_message(which, external)
-            }
+            Mode::NormalUpgraded | Mode::NormalRecovered => self.normal_message(which, external),
         }
     }
 

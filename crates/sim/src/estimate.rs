@@ -73,6 +73,19 @@ impl MonteCarlo {
 
     /// Runs all replications and aggregates.
     pub fn run(&self) -> SimSummary {
+        let mut span = telemetry::span("sim.monte_carlo");
+        span.record("phi", self.config.phi);
+        span.record("replications", self.replications);
+        span.record(
+            "engine",
+            match self.engine {
+                EngineKind::Exact => "exact",
+                EngineKind::Hybrid => "hybrid",
+            },
+        );
+        if telemetry::enabled() {
+            telemetry::counter("sim.replications", self.replications as u64);
+        }
         let calibration = match self.engine {
             EngineKind::Hybrid => {
                 let mut rng = SimRng::stream(self.seed, u64::MAX);
@@ -300,7 +313,10 @@ mod tests {
     #[test]
     fn summary_probabilities_partition() {
         let cfg = SimConfig::new(baseline(), 7000.0).unwrap();
-        let s = MonteCarlo::new(cfg).with_replications(300).with_seed(1).run();
+        let s = MonteCarlo::new(cfg)
+            .with_replications(300)
+            .with_seed(1)
+            .run();
         assert!((s.p_s1 + s.p_s2 + s.p_s3 - 1.0).abs() < 1e-12);
         assert!(s.mean_worth > 0.0);
         assert!(s.worth_half_width_95 > 0.0);
@@ -309,8 +325,14 @@ mod tests {
     #[test]
     fn reproducible_with_same_seed() {
         let cfg = SimConfig::new(baseline(), 5000.0).unwrap();
-        let a = MonteCarlo::new(cfg).with_replications(50).with_seed(9).run();
-        let b = MonteCarlo::new(cfg).with_replications(50).with_seed(9).run();
+        let a = MonteCarlo::new(cfg)
+            .with_replications(50)
+            .with_seed(9)
+            .run();
+        let b = MonteCarlo::new(cfg)
+            .with_replications(50)
+            .with_seed(9)
+            .run();
         assert_eq!(a, b);
     }
 
@@ -318,14 +340,20 @@ mod tests {
     fn s1_fraction_tracks_survival_probability() {
         // P(S1) ≈ exp(−µnew·θ) ≈ 0.368 at the baseline.
         let cfg = SimConfig::new(baseline(), 6000.0).unwrap();
-        let s = MonteCarlo::new(cfg).with_replications(2000).with_seed(4).run();
+        let s = MonteCarlo::new(cfg)
+            .with_replications(2000)
+            .with_seed(4)
+            .run();
         assert!((s.p_s1 - 0.368).abs() < 0.04, "p_s1 = {}", s.p_s1);
     }
 
     #[test]
     fn measured_rho_matches_analytic_steady_state() {
         let cfg = SimConfig::new(baseline(), 8000.0).unwrap();
-        let s = MonteCarlo::new(cfg).with_replications(300).with_seed(2).run();
+        let s = MonteCarlo::new(cfg)
+            .with_replications(300)
+            .with_seed(2)
+            .run();
         let (rho1, rho2) = s.mean_rho.expect("guarded paths exist");
         // Paper: ρ1 ≈ 0.98, ρ2 ≈ 0.95 at α=β=6000.
         assert!((rho1 - 0.98).abs() < 0.01, "rho1 = {rho1}");
@@ -368,13 +396,7 @@ mod tests {
 
     #[test]
     fn y_curve_shares_the_baseline_and_rises_then_falls() {
-        let curve = estimate_y_curve(
-            baseline(),
-            &[2000.0, 6000.0, 10_000.0],
-            1500,
-            3,
-        )
-        .unwrap();
+        let curve = estimate_y_curve(baseline(), &[2000.0, 6000.0, 10_000.0], 1500, 3).unwrap();
         assert_eq!(curve.len(), 3);
         // All points share the identical unguarded baseline.
         assert_eq!(curve[0].1.unguarded, curve[1].1.unguarded);
@@ -388,7 +410,10 @@ mod tests {
     #[test]
     fn summary_display_is_informative() {
         let cfg = SimConfig::new(baseline(), 4000.0).unwrap();
-        let s = MonteCarlo::new(cfg).with_replications(50).with_seed(1).run();
+        let s = MonteCarlo::new(cfg)
+            .with_replications(50)
+            .with_seed(1)
+            .run();
         let line = s.to_string();
         assert!(line.contains("S1/S2/S3"));
         assert!(line.contains("50 reps"));

@@ -69,11 +69,7 @@ enum EpisodeEnd {
 /// manifestation instant is sampled from its calibrated occupancy; and the
 /// `at_count`/`checkpoint_count` fields count only episode events (the
 /// steady background volume is `λ·p_ext·t` ATs by construction).
-pub fn simulate_run_hybrid(
-    config: &SimConfig,
-    cal: &Calibration,
-    rng: &mut SimRng,
-) -> RunOutcome {
+pub fn simulate_run_hybrid(config: &SimConfig, cal: &Calibration, rng: &mut SimRng) -> RunOutcome {
     let params = config.params;
     let theta = params.theta;
     let phi = config.phi;
@@ -335,7 +331,10 @@ mod tests {
         }
         let we = exact_worth / n as f64;
         let wh = hybrid_worth / n as f64;
-        assert!((we - wh).abs() / we < 0.05, "worth exact {we} vs hybrid {wh}");
+        assert!(
+            (we - wh).abs() / we < 0.05,
+            "worth exact {we} vs hybrid {wh}"
+        );
     }
 
     #[test]
@@ -410,8 +409,7 @@ mod tests {
             let mut r1 = SimRng::from_seed(seed);
             let mut r2 = SimRng::from_seed(seed);
             let with = simulate_run_hybrid(&base, &cal, &mut r1);
-            let without =
-                simulate_run_hybrid(&base.with_gamma(GammaMode::None), &cal, &mut r2);
+            let without = simulate_run_hybrid(&base.with_gamma(GammaMode::None), &cal, &mut r2);
             if with.class == PathClass::S2 {
                 assert!(without.worth >= with.worth);
             } else {

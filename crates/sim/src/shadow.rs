@@ -44,7 +44,10 @@ impl ValidationLog {
 /// manifestation rate `mu_true`.
 pub fn simulate_validation(mu_true: f64, duration: f64, rng: &mut SimRng) -> ValidationLog {
     assert!(mu_true >= 0.0, "rate must be >= 0");
-    assert!(duration >= 0.0 && duration.is_finite(), "duration must be finite");
+    assert!(
+        duration >= 0.0 && duration.is_finite(),
+        "duration must be finite"
+    );
     let mut times = Vec::new();
     let mut t = rng.exp(mu_true);
     while t < duration {
@@ -85,7 +88,7 @@ pub fn run_until_admitted(
     max_exposure: f64,
     rng: &mut SimRng,
 ) -> Result<CampaignOutcome> {
-    if !(chunk > 0.0) || !chunk.is_finite() {
+    if !chunk.is_finite() || chunk <= 0.0 {
         return Err(performability::PerfError::InvalidParameter {
             name: "chunk",
             value: chunk,
@@ -160,8 +163,7 @@ mod tests {
         let mut rng = SimRng::from_seed(7);
         let rule = StoppingRule::new(1e-4, 0.9).unwrap();
         let prior = FaultRatePosterior::weakly_informative(1e-4).unwrap();
-        let outcome =
-            run_until_admitted(1e-6, prior, &rule, 5_000.0, 200_000.0, &mut rng).unwrap();
+        let outcome = run_until_admitted(1e-6, prior, &rule, 5_000.0, 200_000.0, &mut rng).unwrap();
         assert!(outcome.admitted, "{outcome:?}");
         assert!(outcome.posterior.probability_below(1e-4) >= 0.9);
         assert!(outcome.exposure <= 200_000.0);
@@ -174,8 +176,7 @@ mod tests {
         let mut rng = SimRng::from_seed(9);
         let rule = StoppingRule::new(1e-4, 0.9).unwrap();
         let prior = FaultRatePosterior::weakly_informative(1e-4).unwrap();
-        let outcome =
-            run_until_admitted(1e-2, prior, &rule, 2_000.0, 50_000.0, &mut rng).unwrap();
+        let outcome = run_until_admitted(1e-2, prior, &rule, 2_000.0, 50_000.0, &mut rng).unwrap();
         assert!(!outcome.admitted, "{outcome:?}");
         assert!(outcome.faults > 100);
         assert!(outcome.posterior.mean() > 1e-3);

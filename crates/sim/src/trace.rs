@@ -75,7 +75,11 @@ impl fmt::Display for TraceEvent {
                 write!(f, "[{time:12.4}] fault manifested in {}", name(process))
             }
             TraceEvent::AcceptanceTestStarted { time, process } => {
-                write!(f, "[{time:12.4}] acceptance test on {} message", name(process))
+                write!(
+                    f,
+                    "[{time:12.4}] acceptance test on {} message",
+                    name(process)
+                )
             }
             TraceEvent::CheckpointStarted { time, process } => {
                 write!(f, "[{time:12.4}] checkpoint of {}", name(process))
@@ -87,7 +91,10 @@ impl fmt::Display for TraceEvent {
                 write!(f, "[{time:12.4}] SYSTEM FAILURE")
             }
             TraceEvent::GuardConcluded { time } => {
-                write!(f, "[{time:12.4}] guarded operation concluded; upgrade committed")
+                write!(
+                    f,
+                    "[{time:12.4}] guarded operation concluded; upgrade committed"
+                )
             }
         }
     }
@@ -187,9 +194,10 @@ mod tests {
         for seed in 0..60 {
             let t = simulate_run_traced(&cfg, seed);
             if let Some(det) = t.outcome.detection_time {
-                let fault_before = t.events.iter().any(|e| {
-                    matches!(e, TraceEvent::FaultManifested { time, .. } if *time <= det)
-                });
+                let fault_before = t
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::FaultManifested { time, .. } if *time <= det));
                 assert!(fault_before, "detection without a prior fault: {t:?}");
             }
         }
@@ -249,9 +257,18 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let cases = [
-            TraceEvent::FaultManifested { time: 1.0, process: 0 },
-            TraceEvent::AcceptanceTestStarted { time: 2.0, process: 2 },
-            TraceEvent::CheckpointStarted { time: 3.0, process: 1 },
+            TraceEvent::FaultManifested {
+                time: 1.0,
+                process: 0,
+            },
+            TraceEvent::AcceptanceTestStarted {
+                time: 2.0,
+                process: 2,
+            },
+            TraceEvent::CheckpointStarted {
+                time: 3.0,
+                process: 1,
+            },
             TraceEvent::ErrorDetected { time: 4.0 },
             TraceEvent::SystemFailed { time: 5.0 },
             TraceEvent::GuardConcluded { time: 6.0 },

@@ -267,9 +267,9 @@ mod tests {
             for &(r, c, v) in &triplets {
                 dense[r][c] += v;
             }
-            for r in 0..6 {
-                for c in 0..6 {
-                    prop_assert!((csr.get(r, c) - dense[r][c]).abs() < 1e-12);
+            for (r, row) in dense.iter().enumerate() {
+                for (c, &want) in row.iter().enumerate() {
+                    prop_assert!((csr.get(r, c) - want).abs() < 1e-12);
                 }
             }
         }

@@ -171,12 +171,12 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec_into: x length mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec_into: y length mismatch");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -204,8 +204,7 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.rows, "mul_vec_transpose_into: x length");
         assert_eq!(y.len(), self.cols, "mul_vec_transpose_into: y length");
         y.fill(0.0);
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -257,7 +256,7 @@ impl CsrMatrix {
     /// `limit` total entries (guard against accidental densification of a
     /// huge state space).
     pub fn to_dense_checked(&self, limit: usize) -> Result<DenseMatrix> {
-        let total = self.rows.checked_mul(self.cols).unwrap_or(usize::MAX);
+        let total = self.rows.saturating_mul(self.cols);
         if total > limit {
             return Err(LinAlgError::InvalidValue {
                 context: format!(

@@ -162,8 +162,7 @@ impl DenseMatrix {
     pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "vec_mul: length mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -356,16 +355,16 @@ impl LuDecomposition {
         // Forward substitution with unit lower triangle.
         for r in 1..n {
             let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().take(r) {
+                acc -= self.lu[(r, c)] * xc;
             }
             x[r] = acc;
         }
         // Back substitution with upper triangle.
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+                acc -= self.lu[(r, c)] * xc;
             }
             x[r] = acc / self.lu[(r, r)];
         }
@@ -393,16 +392,16 @@ impl LuDecomposition {
         // Uᵀ is lower triangular: forward substitution.
         for r in 0..n {
             let mut acc = z[r];
-            for c in 0..r {
-                acc -= self.lu[(c, r)] * z[c];
+            for (c, &zc) in z.iter().enumerate().take(r) {
+                acc -= self.lu[(c, r)] * zc;
             }
             z[r] = acc / self.lu[(r, r)];
         }
         // Lᵀ is unit upper triangular: back substitution.
         for r in (0..n).rev() {
             let mut acc = z[r];
-            for c in (r + 1)..n {
-                acc -= self.lu[(c, r)] * z[c];
+            for (c, &zc) in z.iter().enumerate().skip(r + 1) {
+                acc -= self.lu[(c, r)] * zc;
             }
             z[r] = acc;
         }

@@ -8,6 +8,25 @@
 
 use crate::{CsrMatrix, LinAlgError, Result};
 
+/// Telemetry for one finished solve. All calls no-op unless a global
+/// telemetry sink is installed, so the hot path pays one atomic load.
+fn record_solve(method: &str, conv: &Convergence, opts: &IterOptions) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter("solver.solves", 1);
+    telemetry::counter("solver.iterations", conv.iterations as u64);
+    telemetry::counter(&format!("solver.{method}.solves"), 1);
+    telemetry::observe("solver.final_delta", conv.final_delta);
+    if conv.final_delta > 0.0 {
+        // How far under the tolerance the solve landed (>= 1 on success).
+        telemetry::observe(
+            "solver.tolerance_headroom",
+            opts.tolerance / conv.final_delta,
+        );
+    }
+}
+
 /// Options controlling an iterative solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IterOptions {
@@ -73,15 +92,15 @@ pub fn jacobi(
         delta = crate::vector::diff_norm_inf(&x, &x_next);
         std::mem::swap(&mut x, &mut x_next);
         if delta <= opts.tolerance {
-            return Ok((
-                x,
-                Convergence {
-                    iterations: it,
-                    final_delta: delta,
-                },
-            ));
+            let conv = Convergence {
+                iterations: it,
+                final_delta: delta,
+            };
+            record_solve("jacobi", &conv, opts);
+            return Ok((x, conv));
         }
     }
+    telemetry::counter("solver.not_converged", 1);
     Err(LinAlgError::NotConverged {
         iterations: opts.max_iterations,
         residual: delta,
@@ -122,10 +141,7 @@ pub fn sor(
     check_square(a, b, x0)?;
     if !(opts.relaxation > 0.0 && opts.relaxation < 2.0) {
         return Err(LinAlgError::InvalidValue {
-            context: format!(
-                "SOR relaxation factor {} outside (0, 2)",
-                opts.relaxation
-            ),
+            context: format!("SOR relaxation factor {} outside (0, 2)", opts.relaxation),
         });
     }
     let n = a.rows();
@@ -148,15 +164,19 @@ pub fn sor(
             x[r] = new;
         }
         if delta <= opts.tolerance {
-            return Ok((
-                x,
-                Convergence {
-                    iterations: it,
-                    final_delta: delta,
-                },
-            ));
+            let conv = Convergence {
+                iterations: it,
+                final_delta: delta,
+            };
+            record_solve(
+                if omega == 1.0 { "gauss_seidel" } else { "sor" },
+                &conv,
+                opts,
+            );
+            return Ok((x, conv));
         }
     }
+    telemetry::counter("solver.not_converged", 1);
     Err(LinAlgError::NotConverged {
         iterations: opts.max_iterations,
         residual: delta,
@@ -225,7 +245,7 @@ mod tests {
     fn jacobi_solves_spd_system() {
         let a = laplacian_1d(8);
         let b = vec![1.0; 8];
-        let (x, conv) = jacobi(&a, &b, &vec![0.0; 8], &IterOptions::default()).unwrap();
+        let (x, conv) = jacobi(&a, &b, &[0.0; 8], &IterOptions::default()).unwrap();
         assert!(residual_inf(&a, &x, &b) < 1e-9);
         assert!(conv.iterations > 1);
     }
@@ -235,8 +255,8 @@ mod tests {
         let a = laplacian_1d(8);
         let b = vec![1.0; 8];
         let opts = IterOptions::default();
-        let (_, cj) = jacobi(&a, &b, &vec![0.0; 8], &opts).unwrap();
-        let (_, cg) = gauss_seidel(&a, &b, &vec![0.0; 8], &opts).unwrap();
+        let (_, cj) = jacobi(&a, &b, &[0.0; 8], &opts).unwrap();
+        let (_, cg) = gauss_seidel(&a, &b, &[0.0; 8], &opts).unwrap();
         assert!(cg.iterations < cj.iterations);
     }
 
@@ -245,9 +265,9 @@ mod tests {
         let a = laplacian_1d(16);
         let b = vec![1.0; 16];
         let mut opts = IterOptions::default();
-        let (_, cg) = gauss_seidel(&a, &b, &vec![0.0; 16], &opts).unwrap();
+        let (_, cg) = gauss_seidel(&a, &b, &[0.0; 16], &opts).unwrap();
         opts.relaxation = 1.6;
-        let (x, cs) = sor(&a, &b, &vec![0.0; 16], &opts).unwrap();
+        let (x, cs) = sor(&a, &b, &[0.0; 16], &opts).unwrap();
         assert!(residual_inf(&a, &x, &b) < 1e-9);
         assert!(cs.iterations < cg.iterations);
     }
@@ -272,8 +292,10 @@ mod tests {
         coo.push(1, 0, 3.0);
         coo.push(1, 1, 1.0);
         let a = coo.to_csr();
-        let mut opts = IterOptions::default();
-        opts.max_iterations = 50;
+        let opts = IterOptions {
+            max_iterations: 50,
+            ..Default::default()
+        };
         let r = jacobi(&a, &[1.0, 1.0], &[0.0, 0.0], &opts);
         assert!(matches!(r, Err(LinAlgError::NotConverged { .. })));
     }
@@ -281,8 +303,10 @@ mod tests {
     #[test]
     fn bad_relaxation_rejected() {
         let a = laplacian_1d(3);
-        let mut opts = IterOptions::default();
-        opts.relaxation = 2.5;
+        let opts = IterOptions {
+            relaxation: 2.5,
+            ..Default::default()
+        };
         let r = sor(&a, &[1.0; 3], &[0.0; 3], &opts);
         assert!(matches!(r, Err(LinAlgError::InvalidValue { .. })));
     }

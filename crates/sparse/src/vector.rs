@@ -64,9 +64,7 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 /// Panics if `x.len() != y.len()`.
 pub fn diff_norm_inf(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "diff_norm_inf: length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
 }
 
 /// Rescales `x` in place so that its entries sum to one.

@@ -1,0 +1,421 @@
+//! The in-memory [`Collector`] sink and its two exporters.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::{escape, fmt_f64};
+use crate::{ArgValue, Sink, SpanRecord};
+
+/// Number of fixed histogram buckets: one per power of ten between `1e-15`
+/// and `1e15`, plus an underflow and an overflow bucket.
+const BUCKETS: usize = 33;
+const MIN_EXP: i32 = -16; // bucket 0 holds values <= 1e-15 (incl. <= 0)
+
+fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= 0.0 {
+        return 0;
+    }
+    if value.is_infinite() {
+        return BUCKETS - 1;
+    }
+    let exp = value.log10().floor() as i32;
+    (exp - MIN_EXP).clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+/// Upper bound (`le`) of bucket `i`, for export.
+fn bucket_bound(i: usize) -> f64 {
+    if i == BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        10f64.powi(MIN_EXP + i as i32 + 1)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+/// Read-only view of one histogram, for tests and ad-hoc inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+/// A completed span with collector-relative timestamps (microseconds).
+#[derive(Debug, Clone)]
+pub struct FinishedSpan {
+    /// Span name.
+    pub name: String,
+    /// Start, µs since the collector was created.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Per-thread index.
+    pub tid: u64,
+    /// Nesting depth on its thread (0 = root).
+    pub depth: usize,
+    /// Arguments recorded on the span.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<FinishedSpan>,
+    warnings: Vec<String>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The standard [`Sink`](crate::Sink): thread-safe in-memory aggregation
+/// with JSON exporters.
+#[derive(Debug)]
+pub struct Collector {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// Creates an empty collector; its creation instant is the trace epoch.
+    pub fn new() -> Self {
+        Collector {
+            epoch: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Creates a collector and installs it as the global sink.
+    pub fn install() -> Arc<Self> {
+        let collector = Arc::new(Collector::new());
+        crate::set_sink(collector.clone());
+        collector
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A panic while holding the short critical section below cannot
+        // leave the aggregates torn; keep collecting.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current value of counter `name`.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.lock().counters.get(name).copied()
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Aggregate view of histogram `name`.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().histograms.get(name).map(|h| HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+        })
+    }
+
+    /// All completed spans, in completion order.
+    pub fn spans(&self) -> Vec<FinishedSpan> {
+        self.lock().spans.clone()
+    }
+
+    /// All recorded warnings, in order.
+    pub fn warnings(&self) -> Vec<String> {
+        self.lock().warnings.clone()
+    }
+
+    fn us_since_epoch(&self, t: Instant) -> u64 {
+        t.checked_duration_since(self.epoch)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Renders the structured run report (`gsu-telemetry-v1` schema):
+    /// counters, gauges, histogram aggregates with fixed log₁₀ buckets,
+    /// per-span-name aggregates, and warnings.
+    pub fn run_report_json(&self) -> String {
+        let state = self.lock();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"gsu-telemetry-v1\"");
+
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in state.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), v));
+        }
+        out.push('}');
+
+        out.push_str(",\"gauges\":{");
+        for (i, (name, v)) in state.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), fmt_f64(*v)));
+        }
+        out.push('}');
+
+        out.push_str(",\"histograms\":{");
+        for (i, (name, h)) in state.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+                escape(name),
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(h.min),
+                fmt_f64(h.max),
+                fmt_f64(mean)
+            ));
+            let mut first = true;
+            for (b, &count) in h.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"le\":{},\"count\":{}}}",
+                    fmt_f64(bucket_bound(b)),
+                    count
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+
+        // Per-name span aggregates (full event list lives in the trace).
+        let mut span_stats: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        for s in &state.spans {
+            let e = span_stats.entry(&s.name).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += s.dur_us;
+            e.2 = e.2.max(s.dur_us);
+        }
+        out.push_str(",\"spans\":{");
+        for (i, (name, (count, total, max))) in span_stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{count},\"total_us\":{total},\"max_us\":{max}}}",
+                escape(name)
+            ));
+        }
+        out.push('}');
+
+        out.push_str(",\"warnings\":[");
+        for (i, w) in state.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape(w)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the Chrome `trace_event` document (`{"traceEvents": [...]}`,
+    /// complete "X" events) loadable in Perfetto or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        let state = self.lock();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in state.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"gsu\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{}",
+                escape(&s.name),
+                s.start_us,
+                s.dur_us,
+                s.tid
+            ));
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in s.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":", escape(k)));
+                    match v {
+                        ArgValue::F64(x) => out.push_str(&fmt_f64(*x)),
+                        ArgValue::U64(x) => out.push_str(&x.to_string()),
+                        ArgValue::Str(x) => out.push_str(&format!("\"{}\"", escape(x))),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Writes [`Collector::run_report_json`] to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_run_report(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.run_report_json())
+    }
+
+    /// Writes [`Collector::chrome_trace_json`] to `path`, creating parent
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_chrome_trace(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.chrome_trace_json())
+    }
+}
+
+impl Sink for Collector {
+    fn counter_add(&self, name: &str, delta: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    fn record_span(&self, span: SpanRecord) {
+        let start_us = self.us_since_epoch(span.start);
+        let end_us = self.us_since_epoch(span.end);
+        let finished = FinishedSpan {
+            name: span.name,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            tid: span.tid,
+            depth: span.depth,
+            args: span.args,
+        };
+        self.lock().spans.push(finished);
+    }
+
+    fn warning(&self, message: &str) {
+        self.lock().warnings.push(message.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_monotone_and_bounded() {
+        let mut last = 0;
+        for exp in -20..20 {
+            let v = 10f64.powi(exp) * 3.0;
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket index must be monotone in the value");
+            assert!(b < BUCKETS);
+            last = b;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_collector_exports_valid_skeletons() {
+        let c = Collector::new();
+        let report = c.run_report_json();
+        assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v1\""));
+        assert!(report.contains("\"counters\":{}"));
+        assert!(report.ends_with("\"warnings\":[]}"));
+        assert_eq!(
+            c.chrome_trace_json(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+
+    #[test]
+    fn escaping_reaches_exports() {
+        let c = Collector::new();
+        c.counter_add("weird\"name\\", 1);
+        c.warning("line\nbreak");
+        let report = c.run_report_json();
+        assert!(report.contains("weird\\\"name\\\\"));
+        assert!(report.contains("line\\nbreak"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The crates.io registry is unreachable in the offline build environments
+//! this workspace targets, so the small slice of `rand` 0.8 the workspace
+//! actually uses is reimplemented here on pure `std`: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen`] for the primitive types
+//! the simulator draws. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic for a given seed, exactly what the
+//! reproducible-experiment harness needs. It is **not** the same stream as
+//! upstream `StdRng` (ChaCha12), which no test or experiment relies on.
+
+#![forbid(unsafe_code)]
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic pseudo-random generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Conversion of raw generator output into a sample of `Self`.
+///
+/// Sealed stand-in for `rand::distributions::Standard` sampling; implemented
+/// for the primitive types the workspace draws.
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        // 53 random bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Draws one value of type `T`.
+    fn gen<T: Sample>(&mut self) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors.
+        let mut z = seed;
+        let mut next = || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        rngs::StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        // Mean of Uniform[0,1) over 10k draws.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+}

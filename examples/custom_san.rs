@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RewardSpec::new().rate_when(move |mk| mk.tokens(up) >= 1 && mk.tokens(crashed) == 0, 1.0);
     println!("\navailability over time:");
     for t in [1.0, 10.0, 100.0] {
-        println!("  A({t:>5}) = {:.6}", analyzer.instant_reward(&available, t)?);
+        println!(
+            "  A({t:>5}) = {:.6}",
+            analyzer.instant_reward(&available, t)?
+        );
     }
     let steady = analyzer.steady_reward(&available)?;
     println!("  A(∞)    = {steady:.6}");

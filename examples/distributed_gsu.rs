@@ -40,9 +40,7 @@ fn build_n_process(
             let failure = scope.shared("failure")?;
             scope.add_activity(
                 Activity::timed("fm", mu)
-                    .with_enabling(move |mk| {
-                        mk.tokens(failure) == 0 && mk.tokens(my_ctn) == 0
-                    })
+                    .with_enabling(move |mk| mk.tokens(failure) == 0 && mk.tokens(my_ctn) == 0)
                     .with_output_arc(my_ctn, 1),
             )?;
             // Messages from a contaminated process: external ones fail the
@@ -57,8 +55,8 @@ fn build_n_process(
             let peer_prob = (1.0 - p_ext) / peers.len() as f64;
             for (k, &peer) in peers.iter().enumerate() {
                 // Set (not increment) the peer's contamination bit.
-                let og = scope
-                    .add_output_gate(format!("infect{k}"), move |mk| mk.set_tokens(peer, 1));
+                let og =
+                    scope.add_output_gate(format!("infect{k}"), move |mk| mk.set_tokens(peer, 1));
                 msg = msg.with_case(Case::with_probability(peer_prob).with_output_gate(og));
             }
             scope.add_activity(msg)?;
@@ -70,9 +68,18 @@ fn build_n_process(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = GsuParams::paper_baseline();
-    println!("unprotected survival of an N-process system over θ = {} h", params.theta);
-    println!("(process 0 freshly upgraded at µnew = {:.0e}; others at µold = {:.0e})\n", params.mu_new, params.mu_old);
-    println!("{:>4} {:>10} {:>14} {:>16}", "N", "states", "P(survive θ)", "worth fraction");
+    println!(
+        "unprotected survival of an N-process system over θ = {} h",
+        params.theta
+    );
+    println!(
+        "(process 0 freshly upgraded at µnew = {:.0e}; others at µold = {:.0e})\n",
+        params.mu_new, params.mu_old
+    );
+    println!(
+        "{:>4} {:>10} {:>14} {:>16}",
+        "N", "states", "P(survive θ)", "worth fraction"
+    );
     for n in [2usize, 3, 4, 5, 6] {
         let (model, failure) =
             build_n_process(n, params.lambda, params.p_ext, params.mu_new, params.mu_old)?;

@@ -63,10 +63,16 @@ fn main() -> Result<(), PerfError> {
     // What the escort actually costs: worth accounting at the optimum.
     let pt = analysis.evaluate(best.phi)?;
     println!("\nworth accounting at φ* = {:.0}:", best.phi);
-    println!("  ideal mission worth        2θ     = {:.0} process-hours", 2.0 * base.theta);
+    println!(
+        "  ideal mission worth        2θ     = {:.0} process-hours",
+        2.0 * base.theta
+    );
     println!("  expected worth, unguarded  E[W0]  = {:.0}", pt.e_w0);
     println!("  expected worth, guarded    E[Wφ]  = {:.0}", pt.e_w_phi);
     println!("    from successful upgrades (S1)   = {:.0}", pt.y_s1);
-    println!("    from safe downgrades     (S2)   = {:.0} (discount γ = {:.3})", pt.y_s2, pt.gamma);
+    println!(
+        "    from safe downgrades     (S2)   = {:.0} (discount γ = {:.3})",
+        pt.y_s2, pt.gamma
+    );
     Ok(())
 }

@@ -13,12 +13,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Analytic side.
     let analysis = GsuAnalysis::new(params)?;
     let analytic = analysis.evaluate(phi)?;
-    println!("analytic:  Y({phi}) = {:.4} (γ = {:.3})", analytic.y, analytic.gamma);
+    println!(
+        "analytic:  Y({phi}) = {:.4} (γ = {:.3})",
+        analytic.y, analytic.gamma
+    );
 
     // Simulation side, using the same (constant) γ convention as the
     // analytic pipeline for a like-for-like comparison.
     let cfg = SimConfig::new(params, phi)?.with_gamma(GammaMode::Constant(analytic.gamma));
-    let guarded = MonteCarlo::new(cfg).with_replications(4000).with_seed(17).run();
+    let guarded = MonteCarlo::new(cfg)
+        .with_replications(4000)
+        .with_seed(17)
+        .run();
     let unguarded = MonteCarlo::new(SimConfig::new(params, 0.0)?)
         .with_replications(4000)
         .with_seed(18)

@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prior = FaultRatePosterior::weakly_informative(1e-4)?;
     let rule = StoppingRule::new(2e-4, 0.95)?;
     let mut rng = SimRng::from_seed(2026);
-    let outcome =
-        shadow::run_until_admitted(mu_true, prior, &rule, 2_500.0, 40_000.0, &mut rng)?;
+    let outcome = shadow::run_until_admitted(mu_true, prior, &rule, 2_500.0, 40_000.0, &mut rng)?;
     println!(
         "observed {} manifestation(s) over {:.0} h of shadow execution",
         outcome.faults, outcome.exposure
@@ -43,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "stopping rule P[µ ≤ {:.0e}] ≥ {:.0}%: {}",
         rule.target_rate,
         rule.confidence * 100.0,
-        if outcome.admitted { "ADMITTED to mission operation" } else { "REFUSED" }
+        if outcome.admitted {
+            "ADMITTED to mission operation"
+        } else {
+            "REFUSED"
+        }
     );
     if !outcome.admitted {
         println!("upgrade rejected — mission continues on the old version");

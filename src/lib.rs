@@ -32,8 +32,8 @@
 //! # }
 //! ```
 
-pub use mdcd_sim;
 pub use markov;
+pub use mdcd_sim;
 pub use performability;
 pub use san;
 pub use sparsela;
@@ -44,8 +44,7 @@ pub mod prelude {
         estimate_y, EngineKind, GammaMode, MonteCarlo, PathClass, SimConfig, SimRng,
     };
     pub use performability::{
-        assemble, ConstituentMeasures, GammaPolicy, GsuAnalysis, GsuParams, PerfError,
-        SweepPoint,
+        assemble, ConstituentMeasures, GammaPolicy, GsuAnalysis, GsuParams, PerfError, SweepPoint,
     };
     pub use san::{Activity, Analyzer, Case, Marking, RewardSpec, SanModel, StateSpace};
 }

@@ -21,10 +21,8 @@ fn nan_and_negative_rates_are_rejected_at_every_layer() {
     // marking context is known.
     let mut m = SanModel::new("nan");
     let p = m.add_place("p", 1);
-    m.add_activity(
-        san::Activity::timed_fn("bad", |_| f64::NAN).with_input_arc(p, 1),
-    )
-    .unwrap();
+    m.add_activity(san::Activity::timed_fn("bad", |_| f64::NAN).with_input_arc(p, 1))
+        .unwrap();
     assert!(matches!(
         StateSpace::generate(&m, &ReachabilityOptions::default()),
         Err(SanError::InvalidFunction { .. })
@@ -40,11 +38,11 @@ fn nan_and_negative_rates_are_rejected_at_every_layer() {
 fn corrupted_distributions_are_rejected() {
     let chain = Ctmc::from_transitions(2, [(0, 1, 1.0)]).unwrap();
     for bad in [
-        vec![0.5, 0.6],             // mass > 1
-        vec![1.5, -0.5],            // negative
-        vec![f64::NAN, 1.0],        // NaN
-        vec![1.0],                  // wrong length
-        vec![0.0, 0.0],             // mass 0
+        vec![0.5, 0.6],      // mass > 1
+        vec![1.5, -0.5],     // negative
+        vec![f64::NAN, 1.0], // NaN
+        vec![1.0],           // wrong length
+        vec![0.0, 0.0],      // mass 0
     ] {
         assert!(
             markov::transient::distribution(&chain, &bad, 1.0, &Default::default()).is_err(),
@@ -75,17 +73,21 @@ fn state_space_explosion_is_contained() {
 fn solver_budget_exhaustion_is_a_typed_error() {
     // A stiff chain with uniformization forced and a tiny budget.
     let chain = Ctmc::from_transitions(2, [(0, 1, 1e6), (1, 0, 1e6)]).unwrap();
-    let mut opts = markov::transient::Options::default();
-    opts.method = markov::transient::Method::Uniformization;
-    opts.max_uniformization_steps = 10;
+    let opts = markov::transient::Options {
+        method: markov::transient::Method::Uniformization,
+        max_uniformization_steps: 10,
+        ..Default::default()
+    };
     assert!(matches!(
         markov::transient::distribution(&chain, &[1.0, 0.0], 1.0, &opts),
         Err(MarkovError::LimitExceeded { .. })
     ));
     // And with the dense engine barred by a zero state limit.
-    let mut opts = markov::transient::Options::default();
-    opts.method = markov::transient::Method::MatrixExponential;
-    opts.dense_state_limit = 1;
+    let opts = markov::transient::Options {
+        method: markov::transient::Method::MatrixExponential,
+        dense_state_limit: 1,
+        ..Default::default()
+    };
     assert!(matches!(
         markov::transient::distribution(&chain, &[1.0, 0.0], 1.0, &opts),
         Err(MarkovError::LimitExceeded { .. })
@@ -95,7 +97,8 @@ fn solver_budget_exhaustion_is_a_typed_error() {
 #[test]
 fn gsu_pipeline_rejects_corrupt_parameters_without_panicking() {
     let base = GsuParams::paper_baseline();
-    let corruptions: Vec<Box<dyn Fn(&mut GsuParams)>> = vec![
+    type Corruption = Box<dyn Fn(&mut GsuParams)>;
+    let corruptions: Vec<Corruption> = vec![
         Box::new(|p| p.theta = -1.0),
         Box::new(|p| p.theta = f64::INFINITY),
         Box::new(|p| p.lambda = 0.0),
@@ -145,9 +148,9 @@ fn extreme_but_valid_parameters_stay_finite() {
     for params in cases {
         let analysis = GsuAnalysis::new(params).expect("valid boundary parameters");
         for phi in [0.0, 5000.0, 10_000.0] {
-            let pt = analysis.evaluate(phi).unwrap_or_else(|e| {
-                panic!("evaluation failed for {params:?} at φ={phi}: {e}")
-            });
+            let pt = analysis
+                .evaluate(phi)
+                .unwrap_or_else(|e| panic!("evaluation failed for {params:?} at φ={phi}: {e}"));
             assert!(pt.y.is_finite(), "{params:?} gave Y = {}", pt.y);
             assert!(pt.y > 0.0);
             pt.measures.validate(phi).unwrap();

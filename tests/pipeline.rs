@@ -26,7 +26,11 @@ fn figure9_baseline_optimum_at_7000() {
     let analysis = GsuAnalysis::new(GsuParams::paper_baseline()).unwrap();
     let best = optimum_on_grid(&analysis, 10);
     assert_eq!(best.phi, 7000.0, "paper: optimal φ = 7000 at µnew = 1e-4");
-    assert!(best.y > 1.4 && best.y < 1.7, "Y* = {} (paper ≈ 1.47)", best.y);
+    assert!(
+        best.y > 1.4 && best.y < 1.7,
+        "Y* = {} (paper ≈ 1.47)",
+        best.y
+    );
 }
 
 #[test]
@@ -35,7 +39,11 @@ fn figure9_lower_mu_optimum_at_5000() {
     let analysis = GsuAnalysis::new(params).unwrap();
     let best = optimum_on_grid(&analysis, 10);
     assert_eq!(best.phi, 5000.0, "paper: optimal φ = 5000 at µnew = 5e-5");
-    assert!(best.y > 1.2 && best.y < 1.5, "Y* = {} (paper ≈ 1.30)", best.y);
+    assert!(
+        best.y > 1.2 && best.y < 1.5,
+        "Y* = {} (paper ≈ 1.30)",
+        best.y
+    );
 }
 
 #[test]

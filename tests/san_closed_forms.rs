@@ -100,8 +100,10 @@ fn erlang_stage_chain_transient_both_engines() {
     let want = 1.0 - partial * (-x).exp();
 
     for method in [Method::Uniformization, Method::MatrixExponential] {
-        let mut opts = Options::default();
-        opts.method = method;
+        let opts = Options {
+            method,
+            ..Default::default()
+        };
         let analyzer = Analyzer::generate(&m, &ReachabilityOptions::default())
             .unwrap()
             .with_transient_options(opts);
@@ -243,8 +245,8 @@ fn detection_time_is_a_phase_type_law_of_rmgd() {
     let space = StateSpace::generate(&model.model, &Default::default()).unwrap();
     let detected_place = model.places.detected;
     let targets = space.states_where(|mk| mk.tokens(detected_place) == 1);
-    let ph = PhaseType::first_passage(space.ctmc(), space.initial_distribution(), &targets)
-        .unwrap();
+    let ph =
+        PhaseType::first_passage(space.ctmc(), space.initial_distribution(), &targets).unwrap();
 
     for phi in [2000.0, 6000.0, 10_000.0] {
         let m = analysis.measures(phi).unwrap();
@@ -267,7 +269,10 @@ fn detection_time_is_a_phase_type_law_of_rmgd() {
     // The law is defective: some mass fails undetected or never errs.
     let mass = ph.total_mass().unwrap();
     assert!(mass < 1.0);
-    assert!(mass > 0.5, "most errors should eventually be detected: {mass}");
+    assert!(
+        mass > 0.5,
+        "most errors should eventually be detected: {mass}"
+    );
 }
 
 #[test]
@@ -291,15 +296,9 @@ fn san_simulator_cross_validates_rmnd() {
         .probability_at(40.0, move |mk| mk.tokens(failure) == 0)
         .unwrap();
     let spec = RewardSpec::new().rate_when(move |mk| mk.tokens(failure) == 0, 1.0);
-    let est = simulate::estimate_instant_reward(
-        &model.model,
-        &spec,
-        40.0,
-        3000,
-        99,
-        &Default::default(),
-    )
-    .unwrap();
+    let est =
+        simulate::estimate_instant_reward(&model.model, &spec, 40.0, 3000, 99, &Default::default())
+            .unwrap();
     assert!(
         (est.mean - analytic).abs() < est.half_width_95.max(0.03),
         "simulated {} ± {} vs analytic {analytic}",
@@ -329,7 +328,9 @@ fn gsu_models_are_safe_and_live() {
         assert!(
             dead.is_empty(),
             "{name} has dead timed activities: {:?}",
-            dead.iter().map(|&id| model.activity_name(id)).collect::<Vec<_>>()
+            dead.iter()
+                .map(|&id| model.activity_name(id))
+                .collect::<Vec<_>>()
         );
         let report = structural::report(model, &space);
         assert!(report.contains("safe (1-bounded): true"));

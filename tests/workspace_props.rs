@@ -10,23 +10,25 @@ use san::ReachabilityOptions;
 /// meant for: messages ≫ faults, safeguards faster than messages).
 fn arb_params() -> impl Strategy<Value = GsuParams> {
     (
-        100.0..2000.0f64,   // theta
-        20.0..200.0f64,     // lambda
-        1e-4..5e-3f64,      // mu_new  (µ·θ within a sensible range)
-        0.3..0.99f64,       // coverage
-        0.05..0.3f64,       // p_ext
-        2.0..20.0f64,       // alpha / lambda ratio
+        100.0..2000.0f64, // theta
+        20.0..200.0f64,   // lambda
+        1e-4..5e-3f64,    // mu_new  (µ·θ within a sensible range)
+        0.3..0.99f64,     // coverage
+        0.05..0.3f64,     // p_ext
+        2.0..20.0f64,     // alpha / lambda ratio
     )
-        .prop_map(|(theta, lambda, mu_new, coverage, p_ext, ratio)| GsuParams {
-            theta,
-            lambda,
-            mu_new,
-            mu_old: mu_new * 1e-4,
-            coverage,
-            p_ext,
-            alpha: lambda * ratio,
-            beta: lambda * ratio,
-        })
+        .prop_map(
+            |(theta, lambda, mu_new, coverage, p_ext, ratio)| GsuParams {
+                theta,
+                lambda,
+                mu_new,
+                mu_old: mu_new * 1e-4,
+                coverage,
+                p_ext,
+                alpha: lambda * ratio,
+                beta: lambda * ratio,
+            },
+        )
 }
 
 proptest! {
@@ -97,11 +99,15 @@ proptest! {
             StateSpace::generate(&m, &ReachabilityOptions::default()).unwrap(),
         );
         let spec = RewardSpec::new().rate_fn(|_| true, move |mk| mk.tokens(q) as f64);
-        let mut uni = markov::transient::Options::default();
-        uni.method = markov::transient::Method::Uniformization;
-        uni.max_uniformization_steps = 50_000_000;
-        let mut exp = markov::transient::Options::default();
-        exp.method = markov::transient::Method::MatrixExponential;
+        let uni = markov::transient::Options {
+            method: markov::transient::Method::Uniformization,
+            max_uniformization_steps: 50_000_000,
+            ..Default::default()
+        };
+        let exp = markov::transient::Options {
+            method: markov::transient::Method::MatrixExponential,
+            ..Default::default()
+        };
 
         let a = Analyzer::from_state_space(
             StateSpace::generate(&m, &ReachabilityOptions::default()).unwrap(),
