@@ -7,7 +7,8 @@
 //! optimum moves from 7000 down to 6000 h.
 
 use gsu_bench::{
-    ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs, TelemetrySession,
+    ascii_chart, banner, curve_table, write_csv, BenchTimer, Curve, ExperimentArgs,
+    TelemetrySession,
 };
 use performability::{GsuAnalysis, GsuParams};
 
@@ -18,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let args = ExperimentArgs::parse(10);
     let _telemetry = TelemetrySession::new(&args.out_dir);
+    let _bench = BenchTimer::start("fig10", args.steps, &args.out_dir);
     let base = GsuParams::paper_baseline();
     let fast = GsuAnalysis::new(base)?;
     let slow = GsuAnalysis::new(base.with_overhead_rates(2500.0, 2500.0)?)?;
@@ -28,10 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slow.rho().0,
         slow.rho().1
     );
-    let curves = vec![
-        Curve::sweep("ρ1=0.98, ρ2=0.95 (α=β=6000)", &fast, args.steps)?,
-        Curve::sweep("ρ1=0.95, ρ2=0.90 (α=β=2500)", &slow, args.steps)?,
-    ];
+    let curves = Curve::sweep_many(
+        &[
+            ("ρ1=0.98, ρ2=0.95 (α=β=6000)", &fast),
+            ("ρ1=0.95, ρ2=0.90 (α=β=2500)", &slow),
+        ],
+        args.steps,
+    )?;
 
     println!("{}", curve_table(&curves));
     println!("{}", ascii_chart(&curves, 18));

@@ -7,7 +7,8 @@
 //! insensitive to c but the *benefit* is very sensitive to it.
 
 use gsu_bench::{
-    ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs, TelemetrySession,
+    ascii_chart, banner, curve_table, write_csv, BenchTimer, Curve, ExperimentArgs,
+    TelemetrySession,
 };
 use performability::{GsuAnalysis, GsuParams};
 
@@ -18,12 +19,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let args = ExperimentArgs::parse(10);
     let _telemetry = TelemetrySession::new(&args.out_dir);
+    let _bench = BenchTimer::start("fig11", args.steps, &args.out_dir);
     let base = GsuParams::paper_baseline().with_overhead_rates(2500.0, 2500.0)?;
-    let mut curves = Vec::new();
-    for c in [0.95, 0.75, 0.50] {
-        let analysis = GsuAnalysis::new(base.with_coverage(c)?)?;
-        curves.push(Curve::sweep(format!("c = {c:.2}"), &analysis, args.steps)?);
+    let coverages = [0.95, 0.75, 0.50];
+    let mut analyses = Vec::new();
+    for c in coverages {
+        analyses.push((
+            format!("c = {c:.2}"),
+            GsuAnalysis::new(base.with_coverage(c)?)?,
+        ));
     }
+    let entries: Vec<(&str, &GsuAnalysis)> = analyses
+        .iter()
+        .map(|(label, analysis)| (label.as_str(), analysis))
+        .collect();
+    let curves = Curve::sweep_many(&entries, args.steps)?;
 
     println!("{}", curve_table(&curves));
     println!("{}", ascii_chart(&curves, 18));

@@ -8,7 +8,8 @@
 //! earlier.
 
 use gsu_bench::{
-    ascii_chart, banner, curve_table, write_csv, Curve, ExperimentArgs, TelemetrySession,
+    ascii_chart, banner, curve_table, write_csv, BenchTimer, Curve, ExperimentArgs,
+    TelemetrySession,
 };
 use performability::{GsuAnalysis, GsuParams};
 
@@ -19,15 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let args = ExperimentArgs::parse(10);
     let _telemetry = TelemetrySession::new(&args.out_dir);
+    let _bench = BenchTimer::start("fig12", args.steps, &args.out_dir);
     let base = GsuParams::paper_baseline().with_theta(5000.0)?;
-    let curves = vec![
-        Curve::sweep("µnew = 0.0001", &GsuAnalysis::new(base)?, args.steps)?,
-        Curve::sweep(
-            "µnew = 0.00005",
-            &GsuAnalysis::new(base.with_mu_new(5e-5)?)?,
-            args.steps,
-        )?,
-    ];
+    let fast = GsuAnalysis::new(base)?;
+    let slow = GsuAnalysis::new(base.with_mu_new(5e-5)?)?;
+    let curves = Curve::sweep_many(
+        &[("µnew = 0.0001", &fast), ("µnew = 0.00005", &slow)],
+        args.steps,
+    )?;
 
     println!("{}", curve_table(&curves));
     println!("{}", ascii_chart(&curves, 18));

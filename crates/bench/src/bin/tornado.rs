@@ -5,7 +5,9 @@ use performability::sensitivity::{local_sensitivity, tornado_table};
 use performability::{GsuAnalysis, GsuParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let _telemetry = gsu_bench::TelemetrySession::new(std::path::Path::new("results"));
+    let out_dir = std::path::Path::new("results");
+    let _telemetry = gsu_bench::TelemetrySession::new(out_dir);
+    let _bench = gsu_bench::BenchTimer::start("tornado", 10, out_dir);
     gsu_bench::banner(
         "Sensitivity tornado",
         "Elasticity of Y at the optimal φ, ±10% parameter perturbations",

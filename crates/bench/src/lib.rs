@@ -42,10 +42,177 @@ impl Curve {
         })
     }
 
+    /// Sweeps several analyses over their standard figure grids through
+    /// **one** pool fan-out: all `(curve, φ)` evaluations become a single
+    /// task list, so a wide pool stays busy across curve boundaries instead
+    /// of draining at the tail of each curve. Produces exactly the curves
+    /// that per-analysis [`Curve::sweep`] calls would (asserted by tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (lowest curve/φ index first).
+    pub fn sweep_many(
+        entries: &[(&str, &GsuAnalysis)],
+        steps: usize,
+    ) -> Result<Vec<Curve>, PerfError> {
+        let n = steps.max(1);
+        let tasks: Vec<(usize, f64)> = entries
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, (_, analysis))| {
+                let theta = analysis.params().theta;
+                (0..=n).map(move |i| (ci, theta * i as f64 / n as f64))
+            })
+            .collect();
+        let workers = pool::Pool::current();
+        let mut span = telemetry::span("bench.sweep_many");
+        span.record("curves", entries.len());
+        span.record("points", tasks.len());
+        span.record("threads", workers.threads());
+        let points = workers.try_map_indexed(tasks, |_, (ci, phi): (usize, f64)| {
+            entries[ci].1.evaluate(phi)
+        })?;
+        let mut out = Vec::with_capacity(entries.len());
+        let mut iter = points.into_iter();
+        for (label, _) in entries {
+            out.push(Curve {
+                label: (*label).to_string(),
+                points: iter.by_ref().take(n + 1).collect(),
+            });
+        }
+        Ok(out)
+    }
+
     /// The point with the largest `Y`, or `None` for an empty curve.
     pub fn best(&self) -> Option<&SweepPoint> {
         self.points.iter().max_by(|a, b| a.y.total_cmp(&b.y))
     }
+}
+
+/// One record of the `BENCH_sweep.json` performance log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment binary name (e.g. `fig9`).
+    pub name: String,
+    /// End-to-end wall time of the run in milliseconds.
+    pub wall_ms: f64,
+    /// Pool width the run used (`GSU_THREADS`).
+    pub threads: usize,
+    /// φ grid intervals the run swept.
+    pub grid: usize,
+}
+
+/// Wall-clock guard for an experiment binary.
+///
+/// Construct at the top of `main`; on drop it measures the elapsed time and
+/// merges a [`BenchRecord`] into `<out_dir>/BENCH_sweep.json`, keyed on
+/// `(name, threads)` so repeated runs update in place and serial/parallel
+/// numbers for the same experiment sit side by side.
+#[derive(Debug)]
+pub struct BenchTimer {
+    name: String,
+    grid: usize,
+    path: std::path::PathBuf,
+    start: std::time::Instant,
+}
+
+impl BenchTimer {
+    /// Starts timing experiment `name` sweeping `grid` intervals, logging
+    /// into `out_dir/BENCH_sweep.json`.
+    pub fn start(name: impl Into<String>, grid: usize, out_dir: &Path) -> Self {
+        BenchTimer {
+            name: name.into(),
+            grid,
+            path: out_dir.join("BENCH_sweep.json"),
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for BenchTimer {
+    fn drop(&mut self) {
+        let record = BenchRecord {
+            name: self.name.clone(),
+            wall_ms: self.start.elapsed().as_secs_f64() * 1e3,
+            threads: pool::configured_threads(),
+            grid: self.grid,
+        };
+        if let Err(e) = merge_bench_record(&self.path, record) {
+            eprintln!("bench: failed to update {}: {e}", self.path.display());
+        }
+    }
+}
+
+/// Merges `record` into the JSON log at `path`, replacing any existing entry
+/// with the same `(name, threads)` key.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading or writing the log.
+pub fn merge_bench_record(path: &Path, record: BenchRecord) -> std::io::Result<()> {
+    let mut records = match std::fs::read_to_string(path) {
+        Ok(text) => parse_bench_records(&text),
+        Err(_) => Vec::new(),
+    };
+    match records
+        .iter_mut()
+        .find(|r| r.name == record.name && r.threads == record.threads)
+    {
+        Some(existing) => *existing = record,
+        None => records.push(record),
+    }
+    records.sort_by(|a, b| a.name.cmp(&b.name).then(a.threads.cmp(&b.threads)));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"threads\": {}, \"grid\": {}}}{comma}",
+            r.name, r.wall_ms, r.threads, r.grid
+        );
+    }
+    body.push_str("]\n");
+    std::fs::write(path, body)
+}
+
+/// Parses the records this module writes (a minimal scanner, not a general
+/// JSON parser — malformed entries are dropped rather than erroring so a
+/// corrupt log heals on the next run).
+fn parse_bench_records(text: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let body = chunk.split('}').next().unwrap_or("");
+        let name = json_field(body, "name").map(|v| v.trim_matches('"').to_string());
+        let wall_ms = json_field(body, "wall_ms").and_then(|v| v.parse().ok());
+        let threads = json_field(body, "threads").and_then(|v| v.parse().ok());
+        let grid = json_field(body, "grid").and_then(|v| v.parse().ok());
+        if let (Some(name), Some(wall_ms), Some(threads), Some(grid)) =
+            (name, wall_ms, threads, grid)
+        {
+            out.push(BenchRecord {
+                name,
+                wall_ms,
+                threads,
+                grid,
+            });
+        }
+    }
+    out
+}
+
+fn json_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\"");
+    let rest = &body[body.find(&marker)? + marker.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = if let Some(quoted) = rest.strip_prefix('"') {
+        return quoted.split('"').next().map(|v| v.trim());
+    } else {
+        rest.find([',', '\n']).unwrap_or(rest.len())
+    };
+    Some(rest[..end].trim())
 }
 
 /// Run-scoped telemetry session for the experiment binaries.
@@ -324,6 +491,58 @@ mod tests {
     #[test]
     fn chart_of_empty_is_empty() {
         assert_eq!(ascii_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn sweep_many_matches_per_curve_sweeps() {
+        let base = GsuParams::paper_baseline();
+        let a = GsuAnalysis::with_fixed_overhead(base, 0.98, 0.95).unwrap();
+        let b =
+            GsuAnalysis::with_fixed_overhead(base.with_mu_new(5e-5).unwrap(), 0.98, 0.95).unwrap();
+        let merged = Curve::sweep_many(&[("a", &a), ("b", &b)], 4).unwrap();
+        let solo_a = Curve::sweep("a", &a, 4).unwrap();
+        let solo_b = Curve::sweep("b", &b, 4).unwrap();
+        assert_eq!(merged.len(), 2);
+        for (merged, solo) in merged.iter().zip([&solo_a, &solo_b]) {
+            assert_eq!(merged.label, solo.label);
+            assert_eq!(merged.points.len(), solo.points.len());
+            for (p, q) in merged.points.iter().zip(&solo.points) {
+                assert_eq!(p.phi.to_bits(), q.phi.to_bits());
+                assert_eq!(p.y.to_bits(), q.y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bench_records_merge_and_roundtrip() {
+        let dir = std::env::temp_dir().join("gsu-bench-records-test");
+        let path = dir.join("BENCH_sweep.json");
+        std::fs::remove_file(&path).ok();
+        let rec = |name: &str, wall_ms: f64, threads: usize| BenchRecord {
+            name: name.to_string(),
+            wall_ms,
+            threads,
+            grid: 10,
+        };
+        merge_bench_record(&path, rec("fig9", 250.0, 1)).unwrap();
+        merge_bench_record(&path, rec("fig9", 80.0, 4)).unwrap();
+        merge_bench_record(&path, rec("fig10", 410.5, 1)).unwrap();
+        // Same (name, threads) key updates in place.
+        merge_bench_record(&path, rec("fig9", 245.125, 1)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records = parse_bench_records(&text);
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[1],
+            BenchRecord {
+                name: "fig9".into(),
+                wall_ms: 245.125,
+                threads: 1,
+                grid: 10
+            }
+        );
+        assert_eq!(records[2].threads, 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -259,11 +259,24 @@ impl GsuAnalysis {
 
     /// Evaluates a sweep of φ values (e.g. the grid of Figures 9–12).
     ///
+    /// The grid must be **ascending** within `[0, θ]` (shared validation
+    /// with [`GsuAnalysis::sweep_incremental`]). Points are evaluated in
+    /// parallel on the global [`pool::Pool`] (`GSU_THREADS` wide); each φ is
+    /// an independent evaluation of the same φ-independent prefix, so the
+    /// result is bitwise identical at any thread count.
+    ///
     /// # Errors
     ///
-    /// Fails on the first φ whose evaluation fails.
+    /// Rejects invalid grids up front; otherwise fails with the error of the
+    /// lowest-index φ whose evaluation fails.
     pub fn sweep<I: IntoIterator<Item = f64>>(&self, phis: I) -> Result<Vec<SweepPoint>> {
-        phis.into_iter().map(|phi| self.evaluate(phi)).collect()
+        let phis: Vec<f64> = phis.into_iter().collect();
+        self.params.validate_phi_grid(&phis)?;
+        let workers = pool::Pool::current();
+        let mut span = telemetry::span("performability.sweep");
+        span.record("points", phis.len());
+        span.record("threads", workers.threads());
+        workers.try_map_indexed(phis, |_, phi| self.evaluate(phi))
     }
 
     /// Evaluates a uniform grid of `n + 1` φ values over `[0, θ]`.
@@ -291,18 +304,7 @@ impl GsuAnalysis {
     /// propagates solver failures.
     pub fn sweep_incremental(&self, phis: &[f64]) -> Result<Vec<SweepPoint>> {
         let theta = self.params.theta;
-        let mut last = 0.0;
-        for &phi in phis {
-            self.params.validate_phi(phi)?;
-            if phi < last {
-                return Err(PerfError::InvalidParameter {
-                    name: "phis",
-                    value: phi,
-                    expected: "an ascending grid",
-                });
-            }
-            last = phi;
-        }
+        self.params.validate_phi_grid(phis)?;
         if phis.is_empty() {
             return Ok(Vec::new());
         }
@@ -312,7 +314,7 @@ impl GsuAnalysis {
         // --- RMGd: distributions and accumulated rewards along the grid. --
         let gd_space = self.rmgd_analyzer.state_space();
         let gd = gd_space.ctmc();
-        let pi_at = markov::transient::distribution_at_times(
+        let pi_at = markov::transient::distribution_batch(
             gd,
             gd_space.initial_distribution(),
             phis,
@@ -333,7 +335,7 @@ impl GsuAnalysis {
             gd.n_states(),
             gd.transitions().filter(|&(from, _, _)| !is_target[from]),
         )?;
-        let stopped_pi_at = markov::transient::distribution_at_times(
+        let stopped_pi_at = markov::transient::distribution_batch(
             &stopped,
             gd_space.initial_distribution(),
             phis,
@@ -343,14 +345,14 @@ impl GsuAnalysis {
         // --- RMNd: remaining-window survivals (ascending in θ−φ). ----------
         let remaining: Vec<f64> = phis.iter().rev().map(|&phi| theta - phi).collect();
         let new_space = self.rmnd_new.state_space();
-        let new_pi = markov::transient::distribution_at_times(
+        let new_pi = markov::transient::distribution_batch(
             new_space.ctmc(),
             new_space.initial_distribution(),
             &remaining,
             &opts,
         )?;
         let old_space = self.rmnd_old.state_space();
-        let old_pi = markov::transient::distribution_at_times(
+        let old_pi = markov::transient::distribution_batch(
             old_space.ctmc(),
             old_space.initial_distribution(),
             &remaining,

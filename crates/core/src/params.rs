@@ -113,6 +113,34 @@ impl GsuParams {
         Ok(())
     }
 
+    /// Checks that `phis` is a valid φ *grid*: every point within `[0, θ]`
+    /// and the sequence ascending (repeated points allowed).
+    ///
+    /// This is the single validation gate shared by
+    /// [`GsuAnalysis::sweep`](crate::GsuAnalysis::sweep) and
+    /// [`GsuAnalysis::sweep_incremental`](crate::GsuAnalysis::sweep_incremental),
+    /// so both report identical errors for identical bad inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::PhiOutOfRange`] for any out-of-range point and
+    /// [`PerfError::InvalidParameter`] when the grid is not ascending.
+    pub fn validate_phi_grid(&self, phis: &[f64]) -> Result<()> {
+        let mut last = 0.0;
+        for &phi in phis {
+            self.validate_phi(phi)?;
+            if phi < last {
+                return Err(PerfError::InvalidParameter {
+                    name: "phis",
+                    value: phi,
+                    expected: "an ascending grid",
+                });
+            }
+            last = phi;
+        }
+        Ok(())
+    }
+
     /// Returns a copy with a different mission window θ.
     ///
     /// # Errors

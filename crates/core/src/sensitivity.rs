@@ -76,39 +76,50 @@ pub fn local_sensitivity(
     params.validate_phi(phi)?;
     let base_y = GsuAnalysis::new(params)?.evaluate(phi)?.y;
 
-    let mut out = Vec::new();
-    for (name, get, set) in parameters() {
-        let base_value = get(&params);
-        if base_value == 0.0 {
-            continue; // multiplicative perturbation undefined
-        }
-        let bounded = matches!(name, "coverage" | "p_ext");
-        let clamp = |v: f64| if bounded { v.clamp(0.0, 1.0) } else { v };
+    // Each parameter's two perturbed pipelines (build + solve) are
+    // independent given `base_y`, so fan them across the global pool. The
+    // per-parameter computation is untouched and results are collected in
+    // accessor order, so the outcome is bitwise identical at any thread
+    // count.
+    let workers = pool::Pool::current();
+    let mut span = telemetry::span("performability.local_sensitivity");
+    span.record("threads", workers.threads());
+    let per_param =
+        |_: usize, (name, get, set): ParamAccessor| -> Result<Option<ParamSensitivity>> {
+            let base_value = get(&params);
+            if base_value == 0.0 {
+                return Ok(None); // multiplicative perturbation undefined
+            }
+            let bounded = matches!(name, "coverage" | "p_ext");
+            let clamp = |v: f64| if bounded { v.clamp(0.0, 1.0) } else { v };
 
-        let mut low = params;
-        set(&mut low, clamp(base_value * (1.0 - rel_step)));
-        let mut high = params;
-        set(&mut high, clamp(base_value * (1.0 + rel_step)));
+            let mut low = params;
+            set(&mut low, clamp(base_value * (1.0 - rel_step)));
+            let mut high = params;
+            set(&mut high, clamp(base_value * (1.0 + rel_step)));
 
-        let y_low = GsuAnalysis::new(low)?.evaluate(phi)?.y;
-        let y_high = GsuAnalysis::new(high)?.evaluate(phi)?.y;
+            let y_low = GsuAnalysis::new(low)?.evaluate(phi)?.y;
+            let y_high = GsuAnalysis::new(high)?.evaluate(phi)?.y;
 
-        let dp_rel = (get(&high) - get(&low)) / base_value;
-        let elasticity = if dp_rel.abs() > 0.0 {
-            ((y_high - y_low) / base_y) / dp_rel
-        } else {
-            0.0
+            let dp_rel = (get(&high) - get(&low)) / base_value;
+            let elasticity = if dp_rel.abs() > 0.0 {
+                ((y_high - y_low) / base_y) / dp_rel
+            } else {
+                0.0
+            };
+
+            Ok(Some(ParamSensitivity {
+                name,
+                base_value,
+                relative_step: rel_step,
+                y_low,
+                y_high,
+                elasticity,
+            }))
         };
+    let sensitivities = workers.try_map_indexed(parameters(), per_param)?;
 
-        out.push(ParamSensitivity {
-            name,
-            base_value,
-            relative_step: rel_step,
-            y_low,
-            y_high,
-            elasticity,
-        });
-    }
+    let mut out: Vec<ParamSensitivity> = sensitivities.into_iter().flatten().collect();
     out.sort_by(|a, b| b.swing().total_cmp(&a.swing()));
     Ok(out)
 }

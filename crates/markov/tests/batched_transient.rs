@@ -1,0 +1,142 @@
+//! Property tests for [`transient::distribution_batch`]: the shared-prefix
+//! batched entry point must agree with repeated single-`t` solves to well
+//! below the accuracy the performability measures need.
+
+use markov::transient::{self, Method, Options};
+use markov::Ctmc;
+use proptest::prelude::*;
+
+/// A random dense-ish CTMC over `n` states with rates in (0, scale].
+fn arb_ctmc(n: usize, scale: f64) -> impl Strategy<Value = Ctmc> {
+    proptest::collection::vec(0.0..1.0f64, n * n).prop_map(move |raw| {
+        let mut transitions = Vec::new();
+        for (k, v) in raw.iter().enumerate() {
+            let (i, j) = (k / n, k % n);
+            if i != j && *v > 0.3 {
+                transitions.push((i, j, *v * scale));
+            }
+        }
+        // Guarantee irreducibility with a base cycle.
+        for i in 0..n {
+            transitions.push((i, (i + 1) % n, 0.05 * scale));
+        }
+        Ctmc::from_transitions(n, transitions).expect("valid random chain")
+    })
+}
+
+/// A random ascending time grid, possibly starting at 0 and possibly with
+/// repeated points.
+fn arb_grid(max_len: usize, horizon: f64) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..horizon, 1..max_len).prop_map(|mut times| {
+        times.sort_by(|a, b| a.total_cmp(b));
+        times
+    })
+}
+
+fn assert_batch_matches_single(
+    chain: &Ctmc,
+    times: &[f64],
+    opts: &Options,
+) -> std::result::Result<(), proptest::test_runner::TestCaseError> {
+    let pi0 = chain.point_distribution(0);
+    let batch = transient::distribution_batch(chain, &pi0, times, opts).unwrap();
+    prop_assert_eq!(batch.len(), times.len());
+    for (&t, pi) in times.iter().zip(&batch) {
+        let solo = transient::distribution(chain, &pi0, t, opts).unwrap();
+        let diff = sparsela::vector::diff_norm_inf(pi, &solo);
+        prop_assert!(diff < 1e-12, "t={t}: batch vs single diff {diff:.3e}");
+        prop_assert!(sparsela::vector::is_stochastic(pi, 1e-9));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_matches_single_auto(
+        chain in arb_ctmc(5, 3.0),
+        times in arb_grid(7, 8.0),
+    ) {
+        assert_batch_matches_single(&chain, &times, &Options::default())?;
+    }
+
+    #[test]
+    fn batch_matches_single_forced_uniformization(
+        chain in arb_ctmc(4, 2.0),
+        times in arb_grid(6, 12.0),
+    ) {
+        let opts = Options {
+            method: Method::Uniformization,
+            ..Default::default()
+        };
+        assert_batch_matches_single(&chain, &times, &opts)?;
+    }
+
+    #[test]
+    fn batch_matches_single_forced_expm(
+        chain in arb_ctmc(4, 2.0),
+        times in arb_grid(6, 10.0),
+    ) {
+        // Single-t expm solves from zero vs. batched incremental propagation
+        // with cached propagators: agreement is limited by the conditioning
+        // of e^{Qt}, comfortably within 1e-12 for these small chains.
+        let opts = Options {
+            method: Method::MatrixExponential,
+            ..Default::default()
+        };
+        assert_batch_matches_single(&chain, &times, &opts)?;
+    }
+
+    #[test]
+    fn batch_without_steady_state_detection(
+        chain in arb_ctmc(5, 3.0),
+        times in arb_grid(5, 30.0),
+    ) {
+        let opts = Options {
+            steady_state_detection: false,
+            max_uniformization_steps: 50_000_000,
+            ..Default::default()
+        };
+        assert_batch_matches_single(&chain, &times, &opts)?;
+    }
+}
+
+#[test]
+fn batch_matches_at_times_bitwise_on_expm_path() {
+    // Equal gaps on the matrix-exponential path must reuse one propagator
+    // and reproduce `distribution_at_times` *bitwise*: this is the guarantee
+    // `GsuAnalysis::sweep_incremental` relies on.
+    let chain = Ctmc::from_transitions(3, [(0, 1, 4000.0), (1, 2, 1500.0), (2, 0, 900.0)]).unwrap();
+    let pi0 = chain.point_distribution(0);
+    let times: Vec<f64> = (1..=8).map(|k| k as f64 * 1250.0).collect();
+    let opts = Options::default();
+    let incremental = transient::distribution_at_times(&chain, &pi0, &times, &opts).unwrap();
+    let batched = transient::distribution_batch(&chain, &pi0, &times, &opts).unwrap();
+    for (a, b) in incremental.iter().zip(&batched) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn batch_edge_cases() {
+    let chain = Ctmc::from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)]).unwrap();
+    let pi0 = [0.25, 0.75];
+    let opts = Options::default();
+    assert!(transient::distribution_batch(&chain, &pi0, &[], &opts)
+        .unwrap()
+        .is_empty());
+    let zeros = transient::distribution_batch(&chain, &pi0, &[0.0, 0.0], &opts).unwrap();
+    assert_eq!(zeros, vec![pi0.to_vec(), pi0.to_vec()]);
+    let mixed = transient::distribution_batch(&chain, &pi0, &[0.0, 1.0, 1.0], &opts).unwrap();
+    assert_eq!(mixed[0], pi0.to_vec());
+    assert_eq!(mixed[1], mixed[2]);
+    assert!(transient::distribution_batch(&chain, &pi0, &[2.0, 1.0], &opts).is_err());
+
+    // All-absorbing chain: distribution never moves.
+    let frozen = Ctmc::from_transitions(2, std::iter::empty()).unwrap();
+    let out = transient::distribution_batch(&frozen, &pi0, &[1.0, 5.0], &opts).unwrap();
+    assert_eq!(out, vec![pi0.to_vec(), pi0.to_vec()]);
+}

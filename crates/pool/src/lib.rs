@@ -1,0 +1,464 @@
+//! A std-only, work-stealing, *scoped* thread pool.
+//!
+//! The workspace's offline build policy (see DESIGN.md, "Dependency policy")
+//! rules out `rayon` and `crossbeam`, so this crate implements the minimum
+//! machinery the analysis pipeline needs, in safe Rust:
+//!
+//! * **Scoped tasks** — closures borrow from the caller's stack
+//!   (`GsuAnalysis`, calibration tables, result slots) because every scope
+//!   runs inside [`std::thread::scope`]. No `'static` bounds, no `Arc`
+//!   plumbing through the numeric code.
+//! * **Work stealing** — each worker owns a deque; it pops its own tasks
+//!   LIFO-cheap from the front and steals from the *back* of a victim's
+//!   deque when empty. Sweep tasks have wildly uneven costs (a φ point's
+//!   Fox–Glynn window, or whether a gap solves by uniformization vs. dense
+//!   matrix exponential, depends on `Λ·t`), so static chunking would leave
+//!   workers idle behind the most expensive chunk.
+//! * **Deterministic collection** — [`Pool::map_indexed`] writes each result
+//!   into its input-index slot, so the output order (and therefore every
+//!   downstream floating-point reduction) is identical at any thread count.
+//! * **Parking** — idle workers block on a `Condvar` instead of spinning, so
+//!   an oversubscribed pool (e.g. `GSU_THREADS=4` on one core) degrades
+//!   gracefully.
+//!
+//! The pool is sized by the `GSU_THREADS` environment variable (default:
+//! [`std::thread::available_parallelism`]). `GSU_THREADS=1` runs every task
+//! inline on the caller's thread — byte-identical to the pre-pool serial
+//! pipeline by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Environment variable selecting the pool width.
+pub const THREADS_ENV: &str = "GSU_THREADS";
+
+/// The thread count selected by [`THREADS_ENV`], or
+/// [`std::thread::available_parallelism`] when unset or unparsable.
+///
+/// Re-read on every call so tests (and long-lived processes) can switch
+/// widths at run time; the determinism guarantee makes the switch
+/// observable only through wall time.
+pub fn configured_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool itself is a lightweight configuration value: worker threads live
+/// only for the duration of a [`Pool::scope`] call (they are spawned inside
+/// [`std::thread::scope`], which is what lets tasks borrow non-`'static`
+/// data without unsafe code). For the sweep-shaped workloads this workspace
+/// runs — tens of tasks, each milliseconds to seconds — scope setup cost is
+/// noise.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Spawns tasks into a running [`Pool::scope`].
+pub struct Scope<'scope, 'env> {
+    shared: &'scope Shared<'env>,
+}
+
+struct ScopeState {
+    /// Tasks spawned but not yet finished executing.
+    unfinished: usize,
+    /// Set once the scope closure has returned; workers exit when this is
+    /// `true` and `unfinished` reaches zero.
+    closed: bool,
+}
+
+struct Shared<'env> {
+    /// One deque per worker. Owners pop the front; thieves pop the back.
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    state: Mutex<ScopeState>,
+    /// Signalled on every spawn, completion, and close.
+    signal: Condvar,
+    /// Round-robin cursor for assigning spawned tasks to deques.
+    next_queue: AtomicUsize,
+    steals: AtomicU64,
+    executed: AtomicU64,
+    /// First panic payload raised by a task; re-raised at scope exit.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Pool {
+    /// Creates a pool that runs scopes on `threads` threads (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The pool described by the current environment ([`configured_threads`]).
+    pub fn current() -> Self {
+        Pool::new(configured_threads())
+    }
+
+    /// Number of threads scopes run on, including the caller's.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] into which tasks can be spawned, then blocks
+    /// until every spawned task has finished.
+    ///
+    /// The caller's thread participates as a worker (so a 1-thread pool
+    /// spawns no threads at all and runs every task inline, in spawn order).
+    /// If a task panics, the first payload is re-raised here after all other
+    /// tasks have drained.
+    pub fn scope<'env, T>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> T) -> T {
+        let shared = Shared::new(self.threads);
+        let out = std::thread::scope(|ts| {
+            let shared = &shared;
+            for worker in 1..self.threads {
+                ts.spawn(move || shared.run_worker(worker));
+            }
+            let out = f(&Scope { shared });
+            shared.close();
+            // Drain as worker 0 until the scope is fully quiesced; the
+            // enclosing thread::scope then joins workers 1..threads.
+            shared.run_worker(0);
+            out
+        });
+        if telemetry::enabled() {
+            telemetry::gauge("pool.threads", self.threads as f64);
+            telemetry::counter("pool.tasks", shared.executed.load(Ordering::Relaxed));
+            telemetry::counter("pool.steals", shared.steals.load(Ordering::Relaxed));
+        }
+        if let Some(payload) = shared.panic.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        out
+    }
+
+    /// Applies `f` to every item, in parallel, returning results **in input
+    /// order**.
+    ///
+    /// Each result is written into the slot of its input index, so the output
+    /// is a pure function of the inputs — bitwise identical at any thread
+    /// count. With one thread (or one item) the map runs inline on the
+    /// caller's thread with no synchronisation at all.
+    pub fn map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect();
+        }
+        let mut span = telemetry::span("pool.map_indexed");
+        span.record("items", items.len());
+        span.record("threads", self.threads);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        {
+            let f = &f;
+            let slots = &slots;
+            self.scope(|scope| {
+                for (i, item) in items.into_iter().enumerate() {
+                    scope.spawn(move || {
+                        let result = f(i, item);
+                        *slots[i].lock().unwrap() = Some(result);
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("scope exit guarantees every task ran")
+            })
+            .collect()
+    }
+
+    /// Fallible [`Pool::map_indexed`]: returns the first error **by input
+    /// index** (not by completion time), so the reported failure is also
+    /// deterministic.
+    ///
+    /// Unlike a serial `collect::<Result<_, _>>`, all tasks run to completion
+    /// even when an early item fails; only the reported value matches the
+    /// serial path.
+    pub fn try_map_indexed<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, T) -> Result<R, E> + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect();
+        }
+        self.map_indexed(items, f).into_iter().collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::current()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queues `task` for execution by the scope's workers.
+    ///
+    /// Tasks may borrow anything that outlives the [`Pool::scope`] call.
+    /// Spawn order is preserved per deque (FIFO for owners), which makes the
+    /// 1-thread pool execute tasks exactly in spawn order.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        self.shared.spawn(Box::new(task));
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+impl<'env> Shared<'env> {
+    fn new(threads: usize) -> Self {
+        Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(ScopeState {
+                unfinished: 0,
+                closed: false,
+            }),
+            signal: Condvar::new(),
+            next_queue: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn spawn(&self, task: Task<'env>) {
+        let queue = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        // Lock order state -> queue, matching the parking re-check in
+        // `run_worker`, so a worker can never observe the task count without
+        // also observing the task.
+        let mut state = self.state.lock().unwrap();
+        state.unfinished += 1;
+        self.queues[queue].lock().unwrap().push_back(task);
+        drop(state);
+        self.signal.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.signal.notify_all();
+    }
+
+    fn run_worker(&self, worker: usize) {
+        loop {
+            if let Some(task) = self.grab(worker) {
+                self.run_task(task);
+                continue;
+            }
+            // Park until there is either work or proof that no more will
+            // come. Queues are re-checked under the state lock to close the
+            // race with a concurrent spawn.
+            let mut state = self.state.lock().unwrap();
+            loop {
+                if state.closed && state.unfinished == 0 {
+                    return;
+                }
+                let work_available = self.queues.iter().any(|q| !q.lock().unwrap().is_empty());
+                if work_available {
+                    break;
+                }
+                state = self.signal.wait(state).unwrap();
+            }
+        }
+    }
+
+    /// Pops from the worker's own deque, stealing from the back of a victim's
+    /// deque when it is empty.
+    fn grab(&self, worker: usize) -> Option<Task<'env>> {
+        if let Some(task) = self.queues[worker].lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(task) = self.queues[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn run_task(&self, task: Task<'env>) {
+        // A panicking task must still be counted as finished, or the scope
+        // (and every sibling worker) would park forever.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap();
+        state.unfinished -= 1;
+        let quiesced = state.unfinished == 0;
+        drop(state);
+        if quiesced {
+            self.signal.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let out = pool.map_indexed((0..64).collect(), |i, x: usize| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let items: Vec<f64> = (0..40).map(|i| 0.1 + i as f64 * 0.37).collect();
+        let f = |_: usize, x: f64| (x.sin() * x.exp()).sqrt().ln_1p();
+        let serial = Pool::new(1).map_indexed(items.clone(), f);
+        let parallel = Pool::new(4).map_indexed(items, f);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_map_reports_first_error_by_index() {
+        let pool = Pool::new(4);
+        let out: Result<Vec<usize>, String> =
+            pool.try_map_indexed((0..32).collect(), |_, x: usize| {
+                if x % 10 == 7 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+        assert_eq!(out.unwrap_err(), "bad 7");
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        let counter = AtomicUsize::new(0);
+        Pool::new(3).scope(|scope| {
+            for _ in 0..100 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_in_spawn_order() {
+        let order = Mutex::new(Vec::new());
+        Pool::new(1).scope(|scope| {
+            let order = &order;
+            for i in 0..10 {
+                scope.spawn(move || order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_borrow_caller_state() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        Pool::new(2).scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|| {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(4).scope(|scope| {
+                let finished = &finished;
+                for i in 0..20 {
+                    scope.spawn(move || {
+                        if i == 5 {
+                            panic!("task 5 exploded");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "task 5 exploded");
+        // Every non-panicking sibling still ran; no worker deadlocked.
+        assert_eq!(finished.load(Ordering::Relaxed), 19);
+    }
+
+    #[test]
+    fn configured_threads_parses_env() {
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(configured_threads(), 3);
+        assert_eq!(Pool::current().threads(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(configured_threads(), default_threads());
+        std::env::set_var(THREADS_ENV, "not a number");
+        assert_eq!(configured_threads(), default_threads());
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(configured_threads(), default_threads());
+    }
+
+    #[test]
+    fn empty_scope_and_empty_map() {
+        Pool::new(4).scope(|_| {});
+        let out: Vec<u8> = Pool::new(4).map_indexed(Vec::<u8>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+}

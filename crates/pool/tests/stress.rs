@@ -1,0 +1,45 @@
+//! Loom-style stress smoke test: hammer scope setup, stealing, parking, and
+//! shutdown enough times that a racy close/park handshake would deadlock or
+//! lose tasks with high probability.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pool::Pool;
+
+#[test]
+fn spawn_steal_shutdown_1000_times() {
+    let pool = Pool::new(4);
+    for round in 0..1000u64 {
+        // Vary the task count so some rounds close the scope while workers
+        // are still parked and others close it mid-steal.
+        let tasks = (round % 7) * 3;
+        let sum = AtomicU64::new(0);
+        pool.scope(|scope| {
+            let sum = &sum;
+            for i in 0..tasks {
+                scope.spawn(move || {
+                    sum.fetch_add(i + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), tasks * (tasks + 1) / 2);
+    }
+}
+
+#[test]
+fn uneven_task_costs_complete_under_stealing() {
+    // One deque receives the expensive tasks (round-robin assignment puts
+    // every 4th task on it); idle workers must steal to finish promptly.
+    let pool = Pool::new(4);
+    let out = pool.map_indexed((0..48u64).collect(), |i, x| {
+        let spin = if i % 4 == 0 { 20_000 } else { 10 };
+        let mut acc = x;
+        for _ in 0..spin {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        (x, acc)
+    });
+    for (i, (x, _)) in out.iter().enumerate() {
+        assert_eq!(i as u64, *x);
+    }
+}

@@ -98,6 +98,32 @@ impl MonteCarlo {
             EngineKind::Exact => None,
         };
         let n = self.replications;
+        let workers = pool::Pool::current();
+        span.record("threads", workers.threads());
+
+        // Fan replications across the pool in contiguous index chunks. Each
+        // replication seeds its own decorrelated stream from its *global*
+        // index, and the fold below consumes outcomes in ascending index
+        // order, so the summary is bit-identical at any thread count (and to
+        // the pre-pool serial loop).
+        let chunk_len = n.div_ceil(workers.threads().max(1) * 8).max(1);
+        let chunks: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(chunk_len)
+            .map(|start| start..(start + chunk_len).min(n))
+            .collect();
+        let run_chunk = |_: usize, range: std::ops::Range<usize>| -> Vec<crate::RunOutcome> {
+            range
+                .map(|i| {
+                    let mut rng = SimRng::stream(self.seed, i as u64);
+                    match &calibration {
+                        Some(cal) => simulate_run_hybrid(&self.config, cal, &mut rng),
+                        None => simulate_run(&self.config, &mut rng),
+                    }
+                })
+                .collect()
+        };
+        let outcomes = workers.map_indexed(chunks, run_chunk);
+
         let mut worth_sum = 0.0;
         let mut worth_sq_sum = 0.0;
         let mut counts = [0usize; 3];
@@ -107,12 +133,7 @@ impl MonteCarlo {
         let mut progress2 = 0.0;
         let mut guarded_time = 0.0;
 
-        for i in 0..n {
-            let mut rng = SimRng::stream(self.seed, i as u64);
-            let out = match &calibration {
-                Some(cal) => simulate_run_hybrid(&self.config, cal, &mut rng),
-                None => simulate_run(&self.config, &mut rng),
-            };
+        for out in outcomes.iter().flatten() {
             worth_sum += out.worth;
             worth_sq_sum += out.worth * out.worth;
             counts[match out.class {

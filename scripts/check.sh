@@ -11,7 +11,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q"
-cargo test --offline --workspace -q
+# The suite runs twice: once serial, once on a 4-wide pool. Results must be
+# identical (the pool's determinism guarantee); the second run also exercises
+# the work-stealing/parking/shutdown paths under every test workload.
+echo "==> cargo test -q (GSU_THREADS=1)"
+GSU_THREADS=1 cargo test --offline --workspace -q
+
+echo "==> cargo test -q (GSU_THREADS=4)"
+GSU_THREADS=4 cargo test --offline --workspace -q
 
 echo "All checks passed."

@@ -15,7 +15,9 @@
 //!   model-translation pipeline, the three GSU SAN reward models, and the
 //!   performability index `Y(φ)`,
 //! * [`mdcd_sim`] — a discrete-event simulator of the MDCD protocol used to
-//!   cross-validate the analytic pipeline.
+//!   cross-validate the analytic pipeline,
+//! * [`pool`] — the std-only work-stealing thread pool behind the parallel
+//!   φ-sweeps and simulation fan-out (sized by `GSU_THREADS`).
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 pub use markov;
 pub use mdcd_sim;
 pub use performability;
+pub use pool;
 pub use san;
 pub use sparsela;
 
