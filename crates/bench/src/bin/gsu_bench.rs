@@ -1,0 +1,85 @@
+//! `gsu-bench`: harness utilities as a CLI. Currently one subcommand:
+//!
+//! ```text
+//! gsu-bench regress [--baseline PATH] [--current PATH]
+//!                   [--threshold FRACTION] [--no-update]
+//! ```
+//!
+//! Compares the current `BENCH_sweep.json` against the committed baseline
+//! and exits 0 on pass, 1 on regression, 2 on usage or I/O errors. See
+//! [`gsu_bench::regress`] for the gate semantics.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use gsu_bench::regress::{RegressConfig, DEFAULT_THRESHOLD};
+
+const USAGE: &str = "usage: gsu-bench regress [--baseline PATH] [--current PATH] \
+                     [--threshold FRACTION] [--no-update]";
+
+fn main() -> ExitCode {
+    telemetry::init_log_from_env("GSU_LOG");
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("regress") => regress(args),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Some(other) => {
+            eprintln!("gsu-bench: unknown subcommand {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn regress(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut config = RegressConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(path) => config.baseline = path.into(),
+                None => return usage("--baseline needs a path"),
+            },
+            "--current" => match args.next() {
+                Some(path) => config.current = path.into(),
+                None => return usage("--current needs a path"),
+            },
+            "--threshold" => match args.next().and_then(|raw| raw.parse::<f64>().ok()) {
+                Some(t) if t.is_finite() && t >= 0.0 => config.threshold = t,
+                _ => return usage("--threshold needs a non-negative fraction (e.g. 0.10)"),
+            },
+            "--no-update" => config.update = false,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if config.threshold == DEFAULT_THRESHOLD && std::env::var("GSU_REGRESS_THRESHOLD").is_ok() {
+        match std::env::var("GSU_REGRESS_THRESHOLD")
+            .ok()
+            .and_then(|raw| raw.parse::<f64>().ok())
+        {
+            Some(t) if t.is_finite() && t >= 0.0 => config.threshold = t,
+            _ => return usage("GSU_REGRESS_THRESHOLD must be a non-negative fraction"),
+        }
+    }
+    match gsu_bench::regress::run(&config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gsu-bench regress: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("gsu-bench: {why}\n{USAGE}");
+    ExitCode::from(2)
+}

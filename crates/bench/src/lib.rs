@@ -14,6 +14,8 @@ use std::path::Path;
 
 use performability::{GsuAnalysis, PerfError, SweepPoint};
 
+pub mod regress;
+
 /// A labelled `Y(φ)` curve.
 #[derive(Debug, Clone)]
 pub struct Curve {
@@ -150,10 +152,7 @@ impl Drop for BenchTimer {
 ///
 /// Returns I/O errors from reading or writing the log.
 pub fn merge_bench_record(path: &Path, record: BenchRecord) -> std::io::Result<()> {
-    let mut records = match std::fs::read_to_string(path) {
-        Ok(text) => parse_bench_records(&text),
-        Err(_) => Vec::new(),
-    };
+    let mut records = read_bench_records(path).unwrap_or_default();
     match records
         .iter_mut()
         .find(|r| r.name == record.name && r.threads == record.threads)
@@ -161,6 +160,28 @@ pub fn merge_bench_record(path: &Path, record: BenchRecord) -> std::io::Result<(
         Some(existing) => *existing = record,
         None => records.push(record),
     }
+    write_bench_records(path, &records)
+}
+
+/// Reads a `BENCH_sweep.json`-format log. A missing file is an error;
+/// malformed *entries* within a readable file are dropped (see
+/// [`parse_bench_records`][self]).
+///
+/// # Errors
+///
+/// Returns the underlying read error (`NotFound` for an absent log).
+pub fn read_bench_records(path: &Path) -> std::io::Result<Vec<BenchRecord>> {
+    Ok(parse_bench_records(&std::fs::read_to_string(path)?))
+}
+
+/// Writes `records` in the `BENCH_sweep.json` format, sorted by
+/// `(name, threads)`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or the write.
+pub fn write_bench_records(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut records: Vec<&BenchRecord> = records.iter().collect();
     records.sort_by(|a, b| a.name.cmp(&b.name).then(a.threads.cmp(&b.threads)));
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -234,6 +255,7 @@ impl TelemetrySession {
     /// Starts a session writing into `out_dir` (usually
     /// [`ExperimentArgs::out_dir`]).
     pub fn new(out_dir: &Path) -> Self {
+        telemetry::init_log_from_env("GSU_LOG");
         TelemetrySession {
             collector: telemetry::init_from_env("GSU_TELEMETRY"),
             out_dir: out_dir.to_path_buf(),

@@ -1,0 +1,323 @@
+//! The bench regression gate: `gsu-bench regress`.
+//!
+//! Compares the current `BENCH_sweep.json` (written by the experiment
+//! binaries' [`BenchTimer`](crate::BenchTimer)s) against a committed
+//! baseline, keyed on `(name, threads)`. A run **regresses** when its wall
+//! time exceeds the baseline by more than the threshold fraction (default
+//! 10%). On a clean pass the current numbers are merged into the baseline —
+//! speedups ratchet the bar down, new experiments get seeded — unless the
+//! caller asks for a read-only check (`--no-update`, used by CI so the tree
+//! stays pristine).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::{read_bench_records, write_bench_records, BenchRecord};
+
+/// Default regression threshold: 10% slower than baseline fails.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// Configuration for one gate run.
+#[derive(Debug, Clone)]
+pub struct RegressConfig {
+    /// Baseline log path (committed; `results/BENCH_baseline.json`).
+    pub baseline: PathBuf,
+    /// Current log path (`results/BENCH_sweep.json`).
+    pub current: PathBuf,
+    /// Allowed fractional slowdown before a run counts as a regression.
+    pub threshold: f64,
+    /// Whether a passing run merges current numbers into the baseline.
+    pub update: bool,
+}
+
+impl Default for RegressConfig {
+    fn default() -> Self {
+        RegressConfig {
+            baseline: PathBuf::from("results/BENCH_baseline.json"),
+            current: PathBuf::from("results/BENCH_sweep.json"),
+            threshold: DEFAULT_THRESHOLD,
+            update: true,
+        }
+    }
+}
+
+/// One `(name, threads)` pair present in both logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Experiment name.
+    pub name: String,
+    /// Pool width of the run.
+    pub threads: usize,
+    /// Baseline wall time (ms).
+    pub baseline_ms: f64,
+    /// Current wall time (ms).
+    pub current_ms: f64,
+    /// `current / baseline` — `> 1 + threshold` means regression.
+    pub ratio: f64,
+    /// Whether this pair breaches the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of a gate run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressReport {
+    /// Threshold the comparisons were judged against.
+    pub threshold: f64,
+    /// Pairs present in both logs, in `(name, threads)` order.
+    pub compared: Vec<Comparison>,
+    /// Current records with no baseline entry (seeded, never failing).
+    pub added: Vec<BenchRecord>,
+    /// Baseline records the current log no longer has (kept, reported).
+    pub stale: Vec<BenchRecord>,
+    /// Whether the baseline file was created from scratch this run.
+    pub seeded: bool,
+}
+
+impl RegressReport {
+    /// `true` when no compared pair regressed.
+    pub fn passed(&self) -> bool {
+        self.compared.iter().all(|c| !c.regressed)
+    }
+
+    /// Human-readable gate summary (one line per pair).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.seeded {
+            let _ = writeln!(out, "regress: no baseline found; seeding from current run");
+        }
+        for c in &self.compared {
+            let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "regress: {:<22} threads={} {:>9.3}ms vs {:>9.3}ms baseline ({:+.1}%) {}",
+                c.name,
+                c.threads,
+                c.current_ms,
+                c.baseline_ms,
+                (c.ratio - 1.0) * 100.0,
+                verdict
+            );
+        }
+        for r in &self.added {
+            let _ = writeln!(
+                out,
+                "regress: {:<22} threads={} {:>9.3}ms (new; no baseline)",
+                r.name, r.threads, r.wall_ms
+            );
+        }
+        for r in &self.stale {
+            let _ = writeln!(
+                out,
+                "regress: {:<22} threads={} baseline entry has no current run",
+                r.name, r.threads
+            );
+        }
+        let _ = writeln!(
+            out,
+            "regress: {} compared, {} new, {} stale; threshold {:.0}% -> {}",
+            self.compared.len(),
+            self.added.len(),
+            self.stale.len(),
+            self.threshold * 100.0,
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Pure comparison of two record sets (no I/O).
+pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord], threshold: f64) -> RegressReport {
+    let mut compared = Vec::new();
+    let mut added = Vec::new();
+    for cur in current {
+        match baseline
+            .iter()
+            .find(|b| b.name == cur.name && b.threads == cur.threads)
+        {
+            Some(base) => {
+                let ratio = if base.wall_ms > 0.0 {
+                    cur.wall_ms / base.wall_ms
+                } else {
+                    f64::INFINITY
+                };
+                compared.push(Comparison {
+                    name: cur.name.clone(),
+                    threads: cur.threads,
+                    baseline_ms: base.wall_ms,
+                    current_ms: cur.wall_ms,
+                    ratio,
+                    regressed: cur.wall_ms > base.wall_ms * (1.0 + threshold),
+                });
+            }
+            None => added.push(cur.clone()),
+        }
+    }
+    let stale = baseline
+        .iter()
+        .filter(|b| {
+            !current
+                .iter()
+                .any(|c| c.name == b.name && c.threads == b.threads)
+        })
+        .cloned()
+        .collect();
+    RegressReport {
+        threshold,
+        compared,
+        added,
+        stale,
+        seeded: false,
+    }
+}
+
+/// Runs the gate: read both logs, compare, and (on a pass, when
+/// `config.update`) merge the current numbers into the baseline. A missing
+/// baseline is seeded from the current log and passes trivially; a missing
+/// *current* log is an error — the gate is meaningless without measurements.
+///
+/// # Errors
+///
+/// I/O failures reading the current log or reading/writing the baseline.
+pub fn run(config: &RegressConfig) -> std::io::Result<RegressReport> {
+    let current = read_bench_records(&config.current)?;
+    if current.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("no bench records in {}", config.current.display()),
+        ));
+    }
+    let (baseline, seeded) = match read_bench_records(&config.baseline) {
+        Ok(records) => (records, false),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), true),
+        Err(e) => return Err(e),
+    };
+    let mut report = compare(&baseline, &current, config.threshold);
+    report.seeded = seeded;
+    if report.passed() && config.update {
+        // Merge rather than overwrite: stale baseline entries survive until
+        // their experiment runs again.
+        let mut merged = baseline;
+        for cur in &current {
+            match merged
+                .iter_mut()
+                .find(|b| b.name == cur.name && b.threads == cur.threads)
+            {
+                Some(slot) => *slot = cur.clone(),
+                None => merged.push(cur.clone()),
+            }
+        }
+        write_bench_records(&config.baseline, &merged)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, wall_ms: f64, threads: usize) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            wall_ms,
+            threads,
+            grid: 10,
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let report = compare(&[rec("fig9", 100.0, 1)], &[rec("fig9", 109.9, 1)], 0.10);
+        assert!(report.passed());
+        assert_eq!(report.compared.len(), 1);
+        assert!(!report.compared[0].regressed);
+    }
+
+    #[test]
+    fn twenty_percent_slower_fails_default_threshold() {
+        let report = compare(
+            &[rec("fig9", 100.0, 1)],
+            &[rec("fig9", 120.0, 1)],
+            DEFAULT_THRESHOLD,
+        );
+        assert!(!report.passed());
+        assert!(report.render().contains("REGRESSED"));
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn speedups_and_new_and_stale_never_fail() {
+        let report = compare(
+            &[rec("fig9", 100.0, 1), rec("gone", 50.0, 1)],
+            &[rec("fig9", 40.0, 1), rec("fig10", 70.0, 4)],
+            0.10,
+        );
+        assert!(report.passed());
+        assert_eq!(report.added.len(), 1);
+        assert_eq!(report.stale.len(), 1);
+        assert_eq!(report.added[0].name, "fig10");
+        assert_eq!(report.stale[0].name, "gone");
+    }
+
+    #[test]
+    fn threads_distinguish_records() {
+        // Same experiment at a different pool width is a new pair, not a
+        // comparison against the wrong baseline.
+        let report = compare(&[rec("fig9", 100.0, 1)], &[rec("fig9", 500.0, 4)], 0.10);
+        assert!(report.passed());
+        assert_eq!(report.compared.len(), 0);
+        assert_eq!(report.added.len(), 1);
+    }
+
+    #[test]
+    fn gate_seeds_updates_and_fails_via_files() {
+        let dir = std::env::temp_dir().join("gsu-regress-gate-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = RegressConfig {
+            baseline: dir.join("BENCH_baseline.json"),
+            current: dir.join("BENCH_sweep.json"),
+            threshold: 0.10,
+            update: true,
+        };
+
+        // Missing current log is an error.
+        assert!(run(&config).is_err());
+
+        // First run seeds the baseline and passes.
+        write_bench_records(&config.current, &[rec("fig9", 100.0, 1)]).unwrap();
+        let report = run(&config).unwrap();
+        assert!(report.seeded && report.passed());
+        assert_eq!(read_bench_records(&config.baseline).unwrap().len(), 1);
+
+        // A 5% slowdown passes and ratchets the baseline to the new number.
+        write_bench_records(&config.current, &[rec("fig9", 105.0, 1)]).unwrap();
+        assert!(run(&config).unwrap().passed());
+        assert_eq!(
+            read_bench_records(&config.baseline).unwrap()[0].wall_ms,
+            105.0
+        );
+
+        // A 20% regression fails and must NOT touch the baseline.
+        write_bench_records(&config.current, &[rec("fig9", 126.0, 1)]).unwrap();
+        let report = run(&config).unwrap();
+        assert!(!report.passed());
+        assert_eq!(
+            read_bench_records(&config.baseline).unwrap()[0].wall_ms,
+            105.0
+        );
+
+        // --no-update: a pass leaves the baseline untouched too.
+        let frozen = RegressConfig {
+            update: false,
+            ..config.clone()
+        };
+        write_bench_records(&frozen.current, &[rec("fig9", 90.0, 1)]).unwrap();
+        assert!(run(&frozen).unwrap().passed());
+        assert_eq!(
+            read_bench_records(&frozen.baseline).unwrap()[0].wall_ms,
+            105.0
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

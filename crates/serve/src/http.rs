@@ -1,0 +1,294 @@
+//! Minimal hand-rolled HTTP/1.1 plumbing (pure `std`, no TLS).
+//!
+//! `gsu-serve` speaks exactly the subset Prometheus scrapers, `curl`, and
+//! health probes need: one `GET` per connection, headers parsed and
+//! discarded, `Connection: close` responses with an explicit
+//! `Content-Length`. Anything fancier (keep-alive, chunked bodies, TLS)
+//! belongs to a reverse proxy in front, per the workspace dependency policy
+//! (see DESIGN.md).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How long a connection may sit idle before we give up on it; guards the
+/// worker pool against half-open clients.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A parsed request line (headers are read and discarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, …).
+    pub method: String,
+    /// Path component of the target, percent-decoded.
+    pub path: String,
+    /// Query pairs in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response ready for [`write_response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream` (the header block only; the
+/// endpoints are all body-less `GET`s).
+///
+/// # Errors
+///
+/// I/O failures, timeouts, and malformed request lines.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(&mut *stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // Drain headers until the blank line; their contents are irrelevant to
+    // the routes we serve.
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    parse_request_line(&line).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed request line: {line:?}"),
+        )
+    })
+}
+
+/// Parses `"GET /path?query HTTP/1.1"`.
+fn parse_request_line(line: &str) -> Option<Request> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    parts.next()?; // the HTTP version; any is accepted
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Some(Request {
+        method,
+        path: percent_decode(path),
+        query: parse_query(query),
+    })
+}
+
+/// Splits `a=1&b=2` into decoded pairs; keys without `=` get empty values.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; invalid escapes pass through
+/// verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    (*b? as char).to_digit(16).map(|d| d as u8)
+}
+
+/// Writes `response` with `Connection: close` and an exact
+/// `Content-Length`.
+///
+/// # Errors
+///
+/// Propagates write failures (a disconnected scraper, typically).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len(),
+        response.body
+    )?;
+    stream.flush()
+}
+
+/// Blocking one-shot HTTP GET against `addr` (the smoke test and the
+/// integration tests double as the reference client).
+///
+/// # Errors
+///
+/// Connection/read failures and responses without a parsable status line.
+pub fn http_get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: gsu-serve\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response without header block",
+        )
+    })?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unparsable status line")
+        })?;
+    Ok((status, body.to_string()))
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values) —
+/// mirrors the telemetry crate's internal helper.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_paths_and_queries() {
+        let r = parse_request_line("GET /eval?phi=7000&x=a%20b HTTP/1.1\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/eval");
+        assert_eq!(r.query_value("phi"), Some("7000"));
+        assert_eq!(r.query_value("x"), Some("a b"));
+        assert_eq!(r.query_value("missing"), None);
+    }
+
+    #[test]
+    fn bare_paths_and_empty_queries() {
+        let r = parse_request_line("GET / HTTP/1.0\n").unwrap();
+        assert_eq!(r.path, "/");
+        assert!(r.query.is_empty());
+        let r = parse_request_line("GET /metrics? HTTP/1.1\n").unwrap();
+        assert!(r.query.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_request_line("").is_none());
+        assert!(parse_request_line("GET\r\n").is_none());
+        assert!(parse_request_line("GET /x").is_none());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("plain"), "plain");
+    }
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+    }
+}

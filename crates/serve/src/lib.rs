@@ -1,0 +1,343 @@
+//! `gsu-serve`: the live observability surface of the guarded-operation
+//! performability pipeline.
+//!
+//! A pure-`std` HTTP/1.1 daemon on [`std::net::TcpListener`] whose
+//! connection handlers run on workers from [`pool`] (the same work-stealing
+//! pool the φ-sweeps use). Endpoints:
+//!
+//! | route             | body                                                        |
+//! |-------------------|-------------------------------------------------------------|
+//! | `GET /metrics`    | Prometheus text exposition of the live [`telemetry::Collector`] |
+//! | `GET /healthz`    | liveness (`200 ok` whenever the accept loop is up)          |
+//! | `GET /readyz`     | readiness (`200` once the `GsuAnalysis` is built)           |
+//! | `GET /trace`      | the Chrome `trace_event` document collected so far          |
+//! | `GET /eval?phi=…` | a span-instrumented `Y(φ)` evaluation, as JSON              |
+//! | `GET /`           | a plain-text endpoint index                                 |
+//!
+//! `/eval` makes the analysis itself a servable workload: every request runs
+//! a real `GsuAnalysis::evaluate` under a `serve.eval` span, so traffic
+//! shows up in `/metrics` and `/trace` like any other pipeline work.
+//!
+//! Dependency policy: pure `std` + in-workspace crates, hand-rolled
+//! HTTP/1.1, no TLS (see DESIGN.md, "Dependency policy").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use performability::{GsuAnalysis, GsuParams, SweepPoint};
+use telemetry::{ArgValue, Collector, Level};
+
+use http::{fmt_f64, json_escape, Request, Response};
+
+/// Default number of connection-handling pool workers.
+pub const DEFAULT_WORKERS: usize = 4;
+
+struct ServerState {
+    analysis: GsuAnalysis,
+    collector: Arc<Collector>,
+    start: Instant,
+    ready: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// A bound (but not yet running) observability daemon.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+/// Remote control for a running [`Server`] — cloneable across threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and builds
+    /// the paper-baseline [`GsuAnalysis`] that `/eval` serves. `collector`
+    /// is the (already installed) sink that `/metrics` and `/trace` render.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, and analysis construction failures (surfaced as
+    /// `io::Error` — the daemon is useless without its workload).
+    pub fn bind(addr: &str, collector: Arc<Collector>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let analysis = GsuAnalysis::new(GsuParams::paper_baseline())
+            .map_err(|e| std::io::Error::other(format!("building GsuAnalysis: {e}")))?;
+        let state = Arc::new(ServerState {
+            analysis,
+            collector,
+            start: Instant::now(),
+            ready: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            state,
+        })
+    }
+
+    /// The bound socket address (the real port, after `:0` resolution).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            state: self.state.clone(),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called. Connections are
+    /// handled by `workers` pool workers (`0` handles every connection
+    /// inline on the accept thread — useful under `GSU_THREADS=1` test
+    /// runs).
+    pub fn run(self, workers: usize) {
+        telemetry::log_event(
+            Level::Info,
+            "serve",
+            "listening",
+            &[
+                ("addr", ArgValue::Str(self.addr.to_string())),
+                ("workers", ArgValue::U64(workers as u64)),
+            ],
+        );
+        let state = self.state;
+        if workers == 0 {
+            for conn in self.listener.incoming() {
+                if state.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    handle_connection(&state, stream);
+                }
+            }
+            return;
+        }
+        // The accept thread occupies one pool slot (it only drains the queue
+        // after shutdown), so size the scope at workers + 1 to get the
+        // requested number of concurrent handlers.
+        let workers_pool = pool::Pool::new(workers + 1);
+        workers_pool.scope(|scope| {
+            for conn in self.listener.incoming() {
+                if state.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let state = state.clone();
+                scope.spawn(move || handle_connection(&state, stream));
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The server's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to stop, then pokes it with a throwaway
+    /// connection so a blocked `accept` observes the flag.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let start = Instant::now();
+    let (response, path) = match http::read_request(&mut stream) {
+        Ok(request) => {
+            let path = request.path.clone();
+            (route(state, &request), path)
+        }
+        Err(e) => (
+            Response::text(400, format!("bad request: {e}\n")),
+            String::from("<unparsed>"),
+        ),
+    };
+    let _ = http::write_response(&mut stream, &response);
+    let dur_us = start.elapsed().as_micros() as u64;
+    telemetry::counter("serve.requests", 1);
+    telemetry::counter(&format!("serve.status.{}", response.status), 1);
+    telemetry::observe("serve.request_us", dur_us as f64);
+    telemetry::log_event(
+        Level::Info,
+        "serve",
+        "request",
+        &[
+            ("path", ArgValue::Str(path)),
+            ("status", ArgValue::U64(u64::from(response.status))),
+            ("dur_us", ArgValue::U64(dur_us)),
+        ],
+    );
+}
+
+fn route(state: &ServerState, request: &Request) -> Response {
+    if request.method != "GET" {
+        return Response::text(405, "only GET is served\n");
+    }
+    match request.path.as_str() {
+        "/healthz" => Response::text(200, "ok\n"),
+        "/readyz" => {
+            if state.ready.load(Ordering::Relaxed) {
+                Response::text(200, "ready\n")
+            } else {
+                Response::text(503, "starting\n")
+            }
+        }
+        "/metrics" => {
+            telemetry::gauge("serve.uptime_s", state.start.elapsed().as_secs_f64());
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: state.collector.snapshot().prometheus_text(),
+            }
+        }
+        "/trace" => Response::json(200, state.collector.chrome_trace_json()),
+        "/eval" => eval(state, request),
+        "/" => Response::text(
+            200,
+            "gsu-serve: guarded-operation performability observability daemon\n\
+             GET /metrics    Prometheus exposition of the live collector\n\
+             GET /healthz    liveness\n\
+             GET /readyz     readiness\n\
+             GET /trace      Chrome trace_event JSON\n\
+             GET /eval?phi=N evaluate the performability index Y(phi)\n",
+        ),
+        _ => Response::text(404, "no such route\n"),
+    }
+}
+
+fn eval(state: &ServerState, request: &Request) -> Response {
+    let Some(raw) = request.query_value("phi") else {
+        return Response::json(400, "{\"error\":\"missing query parameter phi\"}");
+    };
+    let Ok(phi) = raw.parse::<f64>() else {
+        return Response::json(
+            400,
+            format!("{{\"error\":\"unparsable phi: {}\"}}", json_escape(raw)),
+        );
+    };
+    let mut span = telemetry::span("serve.eval");
+    span.record("phi", phi);
+    match state.analysis.evaluate(phi) {
+        Ok(point) => {
+            span.record("y", point.y);
+            Response::json(200, sweep_point_json(&point))
+        }
+        Err(e) => Response::json(
+            400,
+            format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string())),
+        ),
+    }
+}
+
+/// Renders a [`SweepPoint`] as the `/eval` response document.
+pub fn sweep_point_json(point: &SweepPoint) -> String {
+    format!(
+        "{{\"phi\":{},\"y\":{},\"e_w0\":{},\"e_w_phi\":{},\"y_s1\":{},\"y_s2\":{},\"gamma\":{}}}",
+        fmt_f64(point.phi),
+        fmt_f64(point.y),
+        fmt_f64(point.e_w0),
+        fmt_f64(point.e_w_phi),
+        fmt_f64(point.y_s1),
+        fmt_f64(point.y_s2),
+        fmt_f64(point.gamma)
+    )
+}
+
+/// Validates a Prometheus text exposition: every sample line must be
+/// `name[{labels}] value` with a parsable value and a legal metric name.
+/// Returns the number of samples.
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn validate_exposition(body: &str) -> Result<usize, String> {
+    let mut samples = 0;
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", i + 1))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: unparsable value: {line:?}", i + 1))?;
+        let name = series.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: illegal metric name: {line:?}", i + 1));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!("line {}: unterminated labels: {line:?}", i + 1));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("exposition contains no samples".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_validator_accepts_and_rejects() {
+        let good = "# TYPE gsu_x counter\ngsu_x 1\ngsu_h_bucket{le=\"+Inf\"} 4\ngsu_g 1.5e-3\n";
+        assert_eq!(validate_exposition(good), Ok(3));
+        assert!(validate_exposition("").is_err());
+        assert!(validate_exposition("gsu_x one\n").is_err());
+        assert!(validate_exposition("bad-name 1\n").is_err());
+        assert!(validate_exposition("gsu_x{le=\"1\" 2\n").is_err());
+    }
+
+    #[test]
+    fn sweep_point_json_shape() {
+        // φ = 0 is the boundary case where Y is exactly 1 and γ exactly 1.
+        let analysis = GsuAnalysis::new(GsuParams::paper_baseline()).unwrap();
+        let point = analysis.evaluate(0.0).unwrap();
+        let json = sweep_point_json(&point);
+        assert!(json.starts_with("{\"phi\":0,\"y\":1,"), "{json}");
+        assert!(json.ends_with("\"gamma\":1}"), "{json}");
+        for key in ["e_w0", "e_w_phi", "y_s1", "y_s2"] {
+            assert!(json.contains(&format!("\"{key}\":")), "{json}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! `gsu-serve` binary: bind, install telemetry, serve until killed.
+//!
+//! ```text
+//! gsu-serve [--addr HOST:PORT] [--workers N]      # serve (default 127.0.0.1:9184)
+//! gsu-serve smoke [--workers N]                   # self-test: bind :0, probe every
+//!                                                 # endpoint, shut down; exit 0/1
+//! ```
+//!
+//! `GSU_LOG=info|debug` turns on the JSONL event log (stderr).
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use gsu_serve::http::http_get;
+use gsu_serve::{validate_exposition, Server, DEFAULT_WORKERS};
+use telemetry::Collector;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:9184";
+
+struct Args {
+    addr: String,
+    workers: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: DEFAULT_ADDR.to_string(),
+        workers: DEFAULT_WORKERS,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "smoke" => args.smoke = true,
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr needs a HOST:PORT value")?;
+            }
+            "--workers" => {
+                let raw = it.next().ok_or("--workers needs a count")?;
+                args.workers = raw
+                    .parse()
+                    .map_err(|_| format!("unparsable --workers value: {raw}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: gsu-serve [smoke] [--addr HOST:PORT] [--workers N]".to_string());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    telemetry::init_log_from_env("GSU_LOG");
+    let collector = Collector::install();
+
+    if args.smoke {
+        return smoke(collector, args.workers);
+    }
+
+    let server = match Server::bind(&args.addr, collector) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("gsu-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Printed (and flushed) before serving so scripts binding :0 can scrape
+    // the real port from the first stdout line.
+    println!("gsu-serve listening on http://{}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.run(args.workers);
+    ExitCode::SUCCESS
+}
+
+/// Binds an ephemeral port, probes every endpoint through the real TCP
+/// stack, and shuts down. The CI smoke gate (scripts/check.sh) runs this
+/// when `curl` is unavailable; it is also a quick manual sanity check.
+fn smoke(collector: Arc<Collector>, workers: usize) -> ExitCode {
+    let server = match Server::bind("127.0.0.1:0", collector) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("smoke: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.run(workers));
+
+    let mut failures = 0;
+    let mut check = |target: &str, want_status: u16, probe: &dyn Fn(&str) -> Result<(), String>| {
+        match http_get(addr, target) {
+            Ok((status, body)) if status == want_status => match probe(&body) {
+                Ok(()) => println!("smoke: {target} -> {status} ok"),
+                Err(why) => {
+                    eprintln!("smoke: {target} -> {status} but body invalid: {why}");
+                    failures += 1;
+                }
+            },
+            Ok((status, body)) => {
+                eprintln!(
+                    "smoke: {target} -> {status}, want {want_status}; body: {}",
+                    body.lines().next().unwrap_or("")
+                );
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("smoke: {target} failed: {e}");
+                failures += 1;
+            }
+        }
+    };
+
+    check("/healthz", 200, &|body| {
+        (body.trim() == "ok")
+            .then_some(())
+            .ok_or_else(|| body.to_string())
+    });
+    check("/readyz", 200, &|_| Ok(()));
+    check("/eval?phi=7000", 200, &|body| {
+        body.contains("\"y\":")
+            .then_some(())
+            .ok_or_else(|| body.to_string())
+    });
+    check("/eval?phi=bogus", 400, &|_| Ok(()));
+    check("/metrics", 200, &|body| {
+        validate_exposition(body).map(|_| ())
+    });
+    check("/trace", 200, &|body| {
+        body.starts_with("{\"traceEvents\":")
+            .then_some(())
+            .ok_or_else(|| "not a trace_event document".to_string())
+    });
+    check("/nope", 404, &|_| Ok(()));
+
+    handle.shutdown();
+    let _ = serving.join();
+    if failures == 0 {
+        println!("smoke: all endpoints ok");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("smoke: {failures} endpoint(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end test of the observability daemon: the acceptance criterion is
+//! that `/metrics` answers in Prometheus text format with live counter and
+//! histogram values **while a φ-sweep is running in another thread**.
+//!
+//! One `#[test]` because the telemetry sink is process-global.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gsu_serve::http::http_get;
+use gsu_serve::{validate_exposition, Server};
+use performability::{GsuAnalysis, GsuParams};
+use telemetry::Collector;
+
+#[test]
+fn serves_live_metrics_during_a_sweep() {
+    let collector = Collector::install();
+    let server = Server::bind("127.0.0.1:0", collector.clone()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.run(2));
+
+    // A φ-sweep hammering the analysis from another thread for the whole
+    // duration of the test, so every /metrics scrape observes a collector
+    // that is being written to concurrently.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweep = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let analysis = GsuAnalysis::new(GsuParams::paper_baseline()).expect("analysis");
+            let mut evaluations = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let points = analysis.sweep_grid(8).expect("sweep");
+                evaluations += points.len() as u64;
+            }
+            evaluations
+        })
+    };
+
+    // Liveness and readiness first.
+    let (status, body) = http_get(addr, "/healthz").expect("/healthz");
+    assert_eq!((status, body.trim()), (200, "ok"));
+    let (status, _) = http_get(addr, "/readyz").expect("/readyz");
+    assert_eq!(status, 200);
+
+    // Scrape /metrics repeatedly while the sweep runs: always a valid
+    // exposition, and the evaluation counter must be visibly moving.
+    let mut last_evaluations = 0.0f64;
+    let mut observed_increase = false;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        let (status, body) = http_get(addr, "/metrics").expect("/metrics");
+        assert_eq!(status, 200, "metrics body: {body}");
+        let samples = validate_exposition(&body).expect("valid exposition");
+        assert!(samples > 0);
+        // Absent until the sweep thread's first evaluation lands — treat as 0
+        // and keep polling rather than racing the thread start.
+        let evaluations = prometheus_value(&body, "gsu_performability_evaluations").unwrap_or(0.0);
+        assert!(
+            evaluations >= last_evaluations,
+            "counter went backwards: {last_evaluations} -> {evaluations}"
+        );
+        if evaluations > last_evaluations && last_evaluations > 0.0 {
+            observed_increase = true;
+            break;
+        }
+        last_evaluations = evaluations;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        observed_increase,
+        "never saw the evaluation counter move between scrapes"
+    );
+
+    // Criterion proven; release the CPU before the remaining endpoint checks
+    // (this container has one core and the sweep thread hogs it).
+    stop.store(true, Ordering::Relaxed);
+    let swept = sweep.join().expect("sweep thread");
+    assert!(swept > 0, "sweep thread never evaluated anything");
+
+    // The exposition carries the request histogram of the scrapes themselves.
+    let (_, body) = http_get(addr, "/metrics").expect("/metrics");
+    assert!(
+        body.contains("gsu_serve_request_us_bucket{le="),
+        "request histogram missing: {body}"
+    );
+    assert!(body.contains("gsu_serve_request_us_count"));
+    assert!(body.contains("gsu_serve_requests"));
+
+    // /eval agrees with a direct evaluation of the same φ.
+    let (status, body) = http_get(addr, "/eval?phi=7000").expect("/eval");
+    assert_eq!(status, 200, "eval body: {body}");
+    let served_y = json_number(&body, "y").expect("y field");
+    let direct = GsuAnalysis::new(GsuParams::paper_baseline())
+        .unwrap()
+        .evaluate(7000.0)
+        .unwrap();
+    assert!(
+        (served_y - direct.y).abs() < 1e-12,
+        "served y = {served_y}, direct y = {}",
+        direct.y
+    );
+
+    // Error handling: missing and unparsable φ.
+    let (status, _) = http_get(addr, "/eval").expect("/eval no phi");
+    assert_eq!(status, 400);
+    let (status, _) = http_get(addr, "/eval?phi=bogus").expect("/eval bad phi");
+    assert_eq!(status, 400);
+    let (status, _) = http_get(addr, "/eval?phi=-5").expect("/eval negative phi");
+    assert_eq!(status, 400);
+
+    // Trace document and 404 handling.
+    let (status, body) = http_get(addr, "/trace").expect("/trace");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"traceEvents\":"), "trace: {body}");
+    let (status, _) = http_get(addr, "/nope").expect("404 route");
+    assert_eq!(status, 404);
+
+    // Shut everything down and check the final numbers hang together.
+    handle.shutdown();
+    serving.join().expect("server thread");
+
+    let snapshot = collector.snapshot();
+    let requests = counter_of(&snapshot, "serve.requests");
+    assert!(requests >= 10, "requests counted: {requests}");
+    assert!(counter_of(&snapshot, "serve.status.200") >= 6);
+    assert!(counter_of(&snapshot, "serve.status.400") >= 3);
+    let evals = counter_of(&snapshot, "performability.evaluations");
+    assert!(
+        evals >= swept,
+        "collector saw {evals} evaluations, sweep thread alone did {swept}"
+    );
+    telemetry::clear_sink();
+}
+
+fn counter_of(snapshot: &telemetry::Snapshot, name: &str) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// First sample value of `metric` (label-less form) in a Prometheus body.
+fn prometheus_value(body: &str, metric: &str) -> Option<f64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(metric)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.parse().ok()
+    })
+}
+
+/// Value of a top-level `"key":number` pair in a flat JSON object.
+fn json_number(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}

@@ -1,8 +1,26 @@
-//! The in-memory [`Collector`] sink and its two exporters.
+//! The in-memory [`Collector`] sink, its concurrent [`Snapshot`], and the
+//! JSON / Prometheus exporters.
+//!
+//! Metric state is split per kind so that emission stays cheap and a
+//! snapshot never stalls the emitting threads:
+//!
+//! * counters, gauges, and histograms live in registries of shared atomics
+//!   behind an `RwLock`ed name map — emitters take the **read** lock (writers
+//!   only appear the first time a name is seen) and then update plain
+//!   atomics, so concurrent emitters never contend with each other or with a
+//!   concurrent [`Collector::snapshot`];
+//! * spans and warnings are event lists behind a short `Mutex` critical
+//!   section (a `Vec` push).
+//!
+//! A snapshot is therefore *consistent per metric* (every counter value is a
+//! real value the counter held) but not a cross-metric atomic cut — fine for
+//! a live `/metrics` endpoint, documented here so nobody builds invariants
+//! across metrics.
 
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use crate::json::{escape, fmt_f64};
@@ -33,36 +51,165 @@ fn bucket_bound(i: usize) -> f64 {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Histogram {
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-    buckets: [u64; BUCKETS],
+/// An `f64` stored as bits in an `AtomicU64` (std has no `AtomicF64`).
+#[derive(Debug)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically replaces the value with `f(value)` via a CAS loop.
+    fn update(&self, f: impl Fn(f64) -> f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some(f(f64::from_bits(bits)).to_bits())
+            });
+    }
 }
 
-impl Histogram {
+/// One histogram, updated with atomics only — observers never block each
+/// other or a concurrent snapshot.
+#[derive(Debug)]
+struct AtomicHistogram {
+    sum: AtomicF64,
+    min: AtomicF64,
+    max: AtomicF64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl AtomicHistogram {
     fn new() -> Self {
-        Histogram {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            buckets: [0; BUCKETS],
+        AtomicHistogram {
+            sum: AtomicF64::new(0.0),
+            min: AtomicF64::new(f64::INFINITY),
+            max: AtomicF64::new(f64::NEG_INFINITY),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    fn observe(&mut self, value: f64) {
-        self.count += 1;
-        self.sum += value;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        self.buckets[bucket_index(value)] += 1;
+    fn observe(&self, value: f64) {
+        self.sum.update(|s| s + value);
+        self.min.update(|m| m.min(value));
+        self.max.update(|m| m.max(value));
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        // Copy the bucket array first and derive the count from it, so the
+        // snapshot is internally consistent even while observers run.
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = buckets.iter().sum();
+        let sum = self.sum.load();
+        let min = self.min.load();
+        let max = self.max.load();
+        let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+        HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            mean,
+            p50: estimate_quantile(&buckets, count, min, max, 0.50),
+            p95: estimate_quantile(&buckets, count, min, max, 0.95),
+            p99: estimate_quantile(&buckets, count, min, max, 0.99),
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_bound(i), c))
+                .collect(),
+        }
     }
 }
 
-/// Read-only view of one histogram, for tests and ad-hoc inspection.
+/// Estimates the `q`-quantile from the fixed log₁₀ buckets by geometric
+/// interpolation inside the bucket holding the target rank, clamped to the
+/// observed `[min, max]` (which makes single-valued histograms exact).
+fn estimate_quantile(buckets: &[u64; BUCKETS], count: u64, min: f64, max: f64, q: f64) -> f64 {
+    if count == 0 {
+        return f64::NAN;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let before = cum;
+        cum += c;
+        if cum >= rank {
+            let lo = if i == 0 {
+                min
+            } else {
+                bucket_bound(i - 1).max(min)
+            };
+            let hi = bucket_bound(i).min(max);
+            if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi <= lo {
+                return hi.clamp(min, max);
+            }
+            let frac = (rank - before) as f64 / c as f64;
+            return (lo * (hi / lo).powf(frac)).clamp(min, max);
+        }
+    }
+    max
+}
+
+/// A name → shared-atomic registry. Emitters take the read lock (shared with
+/// snapshots and each other); the write lock is only taken the first time a
+/// name appears.
+#[derive(Debug)]
+struct Registry<T>(RwLock<BTreeMap<String, Arc<T>>>);
+
+impl<T> Registry<T> {
+    fn new() -> Self {
+        Registry(RwLock::new(BTreeMap::new()))
+    }
+
+    fn get(&self, name: &str) -> Option<Arc<T>> {
+        self.0
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> T) -> Arc<T> {
+        if let Some(existing) = self.get(name) {
+            return existing;
+        }
+        self.0
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make()))
+            .clone()
+    }
+
+    fn entries(&self) -> Vec<(String, Arc<T>)> {
+        self.0
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Read-only view of one histogram: aggregates, log₁₀-bucket estimated
+/// quantiles, and the non-empty buckets themselves (as `(le, count)` pairs
+/// with per-bucket, non-cumulative counts).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Number of observations.
@@ -73,6 +220,55 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Non-empty buckets as `(upper bound, count)`, ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Per-name span aggregates, with **exact** duration quantiles (computed
+/// from the full recorded span list, not from buckets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total time spent in these spans, µs.
+    pub total_us: u64,
+    /// Longest single span, µs.
+    pub max_us: u64,
+    /// Median span duration, µs.
+    pub p50_us: u64,
+    /// 95th-percentile span duration, µs.
+    pub p95_us: u64,
+    /// 99th-percentile span duration, µs.
+    pub p99_us: u64,
+}
+
+/// A point-in-time view of everything a [`Collector`] has aggregated.
+///
+/// Taken with [`Collector::snapshot`] — safe to call at any time, including
+/// while other threads are emitting. All exporters ([`run
+/// report`](Snapshot::run_report_json) and
+/// [Prometheus](Snapshot::prometheus_text)) render from the same snapshot,
+/// so their values agree by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram views, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Per-span-name aggregates, sorted by name.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Warnings, in emission order.
+    pub warnings: Vec<String>,
 }
 
 /// A completed span with collector-relative timestamps (microseconds).
@@ -93,26 +289,20 @@ pub struct FinishedSpan {
 }
 
 #[derive(Debug, Default)]
-struct State {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+struct Events {
     spans: Vec<FinishedSpan>,
     warnings: Vec<String>,
 }
 
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
-
 /// The standard [`Sink`](crate::Sink): thread-safe in-memory aggregation
-/// with JSON exporters.
+/// with concurrent snapshots and JSON / Prometheus exporters.
 #[derive(Debug)]
 pub struct Collector {
     epoch: Instant,
-    state: Mutex<State>,
+    counters: Registry<AtomicU64>,
+    gauges: Registry<AtomicF64>,
+    histograms: Registry<AtomicHistogram>,
+    events: Mutex<Events>,
 }
 
 impl Default for Collector {
@@ -126,7 +316,10 @@ impl Collector {
     pub fn new() -> Self {
         Collector {
             epoch: Instant::now(),
-            state: Mutex::new(State::default()),
+            counters: Registry::new(),
+            gauges: Registry::new(),
+            histograms: Registry::new(),
+            events: Mutex::new(Events::default()),
         }
     }
 
@@ -137,40 +330,92 @@ impl Collector {
         collector
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+    fn lock_events(&self) -> std::sync::MutexGuard<'_, Events> {
         // A panic while holding the short critical section below cannot
         // leave the aggregates torn; keep collecting.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Current value of counter `name`.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        self.lock().counters.get(name).copied()
+        self.counters.get(name).map(|c| c.load(Ordering::Relaxed))
     }
 
     /// Current value of gauge `name`.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
-        self.lock().gauges.get(name).copied()
+        self.gauges.get(name).map(|g| g.load())
     }
 
     /// Aggregate view of histogram `name`.
     pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
-        self.lock().histograms.get(name).map(|h| HistogramSnapshot {
-            count: h.count,
-            sum: h.sum,
-            min: h.min,
-            max: h.max,
-        })
+        self.histograms.get(name).map(|h| h.snapshot())
     }
 
     /// All completed spans, in completion order.
     pub fn spans(&self) -> Vec<FinishedSpan> {
-        self.lock().spans.clone()
+        self.lock_events().spans.clone()
     }
 
     /// All recorded warnings, in order.
     pub fn warnings(&self) -> Vec<String> {
-        self.lock().warnings.clone()
+        self.lock_events().warnings.clone()
+    }
+
+    /// Takes a point-in-time [`Snapshot`] of every aggregate.
+    ///
+    /// Callable concurrently with emitting threads: metric registries are
+    /// read under shared locks and the values are plain atomic loads, so a
+    /// snapshot never blocks (or is blocked by) emission — this is what lets
+    /// `gsu-serve` answer `/metrics` in the middle of a φ-sweep.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .entries()
+            .into_iter()
+            .map(|(name, c)| (name, c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .entries()
+            .into_iter()
+            .map(|(name, g)| (name, g.load()))
+            .collect();
+        let histograms = self
+            .histograms
+            .entries()
+            .into_iter()
+            .map(|(name, h)| (name, h.snapshot()))
+            .collect();
+        let (spans, warnings) = {
+            let events = self.lock_events();
+            (events.spans.clone(), events.warnings.clone())
+        };
+        let mut durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for s in &spans {
+            durations.entry(s.name.clone()).or_default().push(s.dur_us);
+        }
+        let span_stats = durations
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_unstable();
+                let stats = SpanStats {
+                    count: durs.len() as u64,
+                    total_us: durs.iter().sum(),
+                    max_us: *durs.last().expect("non-empty by construction"),
+                    p50_us: exact_quantile_us(&durs, 0.50),
+                    p95_us: exact_quantile_us(&durs, 0.95),
+                    p99_us: exact_quantile_us(&durs, 0.99),
+                };
+                (name, stats)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: span_stats,
+            warnings,
+        }
     }
 
     fn us_since_epoch(&self, t: Instant) -> u64 {
@@ -179,108 +424,19 @@ impl Collector {
             .unwrap_or(0)
     }
 
-    /// Renders the structured run report (`gsu-telemetry-v1` schema):
-    /// counters, gauges, histogram aggregates with fixed log₁₀ buckets,
-    /// per-span-name aggregates, and warnings.
+    /// Renders the structured run report (`gsu-telemetry-v2` schema); see
+    /// [`Snapshot::run_report_json`].
     pub fn run_report_json(&self) -> String {
-        let state = self.lock();
-        let mut out = String::with_capacity(4096);
-        out.push_str("{\"schema\":\"gsu-telemetry-v1\"");
-
-        out.push_str(",\"counters\":{");
-        for (i, (name, v)) in state.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{}\":{}", escape(name), v));
-        }
-        out.push('}');
-
-        out.push_str(",\"gauges\":{");
-        for (i, (name, v)) in state.gauges.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{}\":{}", escape(name), fmt_f64(*v)));
-        }
-        out.push('}');
-
-        out.push_str(",\"histograms\":{");
-        for (i, (name, h)) in state.histograms.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let mean = if h.count > 0 {
-                h.sum / h.count as f64
-            } else {
-                0.0
-            };
-            out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
-                escape(name),
-                h.count,
-                fmt_f64(h.sum),
-                fmt_f64(h.min),
-                fmt_f64(h.max),
-                fmt_f64(mean)
-            ));
-            let mut first = true;
-            for (b, &count) in h.buckets.iter().enumerate() {
-                if count == 0 {
-                    continue;
-                }
-                if !first {
-                    out.push(',');
-                }
-                first = false;
-                out.push_str(&format!(
-                    "{{\"le\":{},\"count\":{}}}",
-                    fmt_f64(bucket_bound(b)),
-                    count
-                ));
-            }
-            out.push_str("]}");
-        }
-        out.push('}');
-
-        // Per-name span aggregates (full event list lives in the trace).
-        let mut span_stats: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
-        for s in &state.spans {
-            let e = span_stats.entry(&s.name).or_insert((0, 0, 0));
-            e.0 += 1;
-            e.1 += s.dur_us;
-            e.2 = e.2.max(s.dur_us);
-        }
-        out.push_str(",\"spans\":{");
-        for (i, (name, (count, total, max))) in span_stats.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\"{}\":{{\"count\":{count},\"total_us\":{total},\"max_us\":{max}}}",
-                escape(name)
-            ));
-        }
-        out.push('}');
-
-        out.push_str(",\"warnings\":[");
-        for (i, w) in state.warnings.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{}\"", escape(w)));
-        }
-        out.push_str("]}");
-        out
+        self.snapshot().run_report_json()
     }
 
     /// Renders the Chrome `trace_event` document (`{"traceEvents": [...]}`,
     /// complete "X" events) loadable in Perfetto or `chrome://tracing`.
     pub fn chrome_trace_json(&self) -> String {
-        let state = self.lock();
+        let events = self.lock_events();
         let mut out = String::with_capacity(4096);
         out.push_str("{\"traceEvents\":[");
-        for (i, s) in state.spans.iter().enumerate() {
+        for (i, s) in events.spans.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -340,20 +496,123 @@ impl Collector {
     }
 }
 
+/// Exact quantile over an ascending-sorted duration list (nearest-rank).
+fn exact_quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl Snapshot {
+    /// Renders the structured run report (`gsu-telemetry-v2` schema):
+    /// counters, gauges, histogram aggregates with p50/p95/p99 and fixed
+    /// log₁₀ buckets, per-span-name aggregates with exact duration
+    /// quantiles, and warnings.
+    pub fn run_report_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"gsu-telemetry-v2\"");
+
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), v));
+        }
+        out.push('}');
+
+        out.push_str(",\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), fmt_f64(*v)));
+        }
+        out.push('}');
+
+        out.push_str(",\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                escape(name),
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(h.min),
+                fmt_f64(h.max),
+                fmt_f64(h.mean),
+                fmt_f64(h.p50),
+                fmt_f64(h.p95),
+                fmt_f64(h.p99),
+            ));
+            for (b, (le, count)) in h.buckets.iter().enumerate() {
+                if b > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"le\":{},\"count\":{}}}", fmt_f64(*le), count));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+
+        out.push_str(",\"spans\":{");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"total_us\":{},\"max_us\":{},\
+                 \"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+                escape(name),
+                s.count,
+                s.total_us,
+                s.max_us,
+                s.p50_us,
+                s.p95_us,
+                s.p99_us
+            ));
+        }
+        out.push('}');
+
+        out.push_str(",\"warnings\":[");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape(w)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4); see [`crate::prometheus`] for the mapping.
+    pub fn prometheus_text(&self) -> String {
+        crate::prometheus::render(self)
+    }
+}
+
 impl Sink for Collector {
     fn counter_add(&self, name: &str, delta: u64) {
-        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+        self.counters
+            .get_or_insert(name, || AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
     }
 
     fn gauge_set(&self, name: &str, value: f64) {
-        self.lock().gauges.insert(name.to_string(), value);
+        self.gauges
+            .get_or_insert(name, || AtomicF64::new(value))
+            .store(value);
     }
 
     fn observe(&self, name: &str, value: f64) {
-        self.lock()
-            .histograms
-            .entry(name.to_string())
-            .or_default()
+        self.histograms
+            .get_or_insert(name, AtomicHistogram::new)
             .observe(value);
     }
 
@@ -368,11 +627,11 @@ impl Sink for Collector {
             depth: span.depth,
             args: span.args,
         };
-        self.lock().spans.push(finished);
+        self.lock_events().spans.push(finished);
     }
 
     fn warning(&self, message: &str) {
-        self.lock().warnings.push(message.to_string());
+        self.lock_events().warnings.push(message.to_string());
     }
 }
 
@@ -400,13 +659,16 @@ mod tests {
     fn empty_collector_exports_valid_skeletons() {
         let c = Collector::new();
         let report = c.run_report_json();
-        assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v1\""));
+        assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v2\""));
         assert!(report.contains("\"counters\":{}"));
         assert!(report.ends_with("\"warnings\":[]}"));
         assert_eq!(
             c.chrome_trace_json(),
             "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
         );
+        let snap = c.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.prometheus_text().is_empty());
     }
 
     #[test]
@@ -417,5 +679,67 @@ mod tests {
         let report = c.run_report_json();
         assert!(report.contains("weird\\\"name\\\\"));
         assert!(report.contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn quantiles_exact_for_single_valued_histograms() {
+        let c = Collector::new();
+        for _ in 0..6 {
+            c.observe("h", 16471.0);
+        }
+        let h = c.histogram_snapshot("h").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.p50, 16471.0);
+        assert_eq!(h.p95, 16471.0);
+        assert_eq!(h.p99, 16471.0);
+        assert_eq!(h.buckets, vec![(1e5, 6)]);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let c = Collector::new();
+        for i in 1..=1000 {
+            c.observe("h", i as f64);
+        }
+        let h = c.histogram_snapshot("h").unwrap();
+        assert!(h.min <= h.p50 && h.p50 <= h.p95);
+        assert!(h.p95 <= h.p99 && h.p99 <= h.max);
+        // The median of 1..=1000 lives in the (100, 1000] bucket; the
+        // log-interpolated estimate must land inside it.
+        assert!(h.p50 > 100.0 && h.p50 <= 1000.0, "p50 = {}", h.p50);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_nan() {
+        let buckets: [u64; BUCKETS] = [0; BUCKETS];
+        assert!(estimate_quantile(&buckets, 0, f64::INFINITY, f64::NEG_INFINITY, 0.5).is_nan());
+    }
+
+    #[test]
+    fn span_stats_quantiles_are_exact() {
+        let durs: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_quantile_us(&durs, 0.50), 50);
+        assert_eq!(exact_quantile_us(&durs, 0.95), 95);
+        assert_eq!(exact_quantile_us(&durs, 0.99), 99);
+        assert_eq!(exact_quantile_us(&[42], 0.5), 42);
+        assert_eq!(exact_quantile_us(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_sees_live_values() {
+        let c = Collector::new();
+        c.counter_add("a", 2);
+        c.gauge_set("g", 1.5);
+        c.observe("h", 3.0);
+        c.warning("w");
+        let snap = c.snapshot();
+        assert_eq!(snap.counters, vec![("a".to_string(), 2)]);
+        assert_eq!(snap.gauges, vec![("g".to_string(), 1.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.warnings, vec!["w".to_string()]);
+        // Report and exposition render from the same data.
+        assert!(snap.run_report_json().contains("\"a\":2"));
+        assert!(snap.prometheus_text().contains("gsu_a 2"));
     }
 }

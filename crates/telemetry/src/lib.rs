@@ -40,13 +40,19 @@
 
 mod collector;
 mod json;
+mod log;
+pub mod prometheus;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-pub use collector::{Collector, FinishedSpan, HistogramSnapshot};
+pub use collector::{Collector, FinishedSpan, HistogramSnapshot, Snapshot, SpanStats};
+pub use log::{
+    init_log_from_env, log_enabled, log_event, log_level, set_log_level, set_log_writer,
+    take_log_writer, Level,
+};
 
 /// A value attached to a span as an argument.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,9 +185,11 @@ pub fn observe(name: &str, value: f64) {
     with_sink(|s| s.observe(name, value));
 }
 
-/// Records a warning message.
+/// Records a warning message (and, when `GSU_LOG` enables `warn`, emits a
+/// structured log event alongside it).
 #[inline]
 pub fn warning(message: &str) {
+    log_event(Level::Warn, "telemetry", message, &[]);
     with_sink(|s| s.warning(message));
 }
 
@@ -199,10 +207,12 @@ fn current_tid() -> u64 {
 /// another is live on the same thread records a larger depth and renders
 /// nested in the Chrome trace.
 ///
-/// When no sink is installed this returns an inert guard at the cost of one
-/// atomic load.
+/// When no sink is installed (and `debug` logging is off) this returns an
+/// inert guard at the cost of two atomic loads. With `GSU_LOG=debug` the
+/// guard stays live even without a sink, so span durations still stream to
+/// the structured log.
 pub fn span(name: &str) -> SpanGuard {
-    if !enabled() {
+    if !enabled() && !log_enabled(Level::Debug) {
         return SpanGuard { inner: None };
     }
     let depth = DEPTH.with(|d| {
@@ -247,11 +257,21 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let end = Instant::now();
+            if log_enabled(Level::Debug) {
+                let dur_us = end.duration_since(inner.start).as_micros() as u64;
+                log_event(
+                    Level::Debug,
+                    "telemetry.span",
+                    &inner.name,
+                    &[("dur_us", ArgValue::U64(dur_us))],
+                );
+            }
             with_sink(|s| {
                 s.record_span(SpanRecord {
                     name: inner.name.clone(),
                     start: inner.start,
-                    end: Instant::now(),
+                    end,
                     tid: inner.tid,
                     depth: inner.depth,
                     args: inner.args.clone(),
@@ -426,7 +446,7 @@ mod tests {
             c.run_report_json()
         });
         for needle in [
-            "\"schema\":\"gsu-telemetry-v1\"",
+            "\"schema\":\"gsu-telemetry-v2\"",
             "\"solver.iterations\":17",
             "\"san.states.rmgd\":11",
             "\"fox_glynn.window_len\"",

@@ -1,0 +1,192 @@
+//! Prometheus text-exposition rendering (format version 0.0.4) of a
+//! [`Snapshot`](crate::Snapshot).
+//!
+//! Mapping:
+//!
+//! * every metric name is prefixed `gsu_` and sanitised (characters outside
+//!   `[a-zA-Z0-9_:]` become `_`, so `solver.iterations` exports as
+//!   `gsu_solver_iterations`);
+//! * counters and gauges export as single samples of the matching type;
+//! * histograms export as native Prometheus histograms — cumulative
+//!   `_bucket{le="…"}` samples (ending in `le="+Inf"`), `_sum`, and
+//!   `_count` — plus `_p50` / `_p95` / `_p99` gauges carrying the same
+//!   bucket-estimated quantiles the JSON run report publishes, so the two
+//!   surfaces agree by construction;
+//! * span aggregates export as `gsu_span_*{span="<name>"}` families.
+//!
+//! Warnings have no numeric representation and stay in the JSON report.
+
+use std::fmt::Write as _;
+
+use crate::collector::Snapshot;
+
+/// Renders `snapshot` as a Prometheus text exposition.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    for (name, value) in &snapshot.counters {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+
+    for (name, value) in &snapshot.gauges {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", fmt_value(*value));
+    }
+
+    for (name, h) in &snapshot.histograms {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cum = 0u64;
+        for (le, count) in &h.buckets {
+            cum += count;
+            let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {cum}", fmt_value(*le));
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{metric}_sum {}", fmt_value(h.sum));
+        let _ = writeln!(out, "{metric}_count {}", h.count);
+        for (suffix, q) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
+            let _ = writeln!(out, "# TYPE {metric}_{suffix} gauge");
+            let _ = writeln!(out, "{metric}_{suffix} {}", fmt_value(q));
+        }
+    }
+
+    if !snapshot.spans.is_empty() {
+        for (family, kind) in [
+            ("gsu_span_count", "counter"),
+            ("gsu_span_total_us", "counter"),
+            ("gsu_span_max_us", "gauge"),
+            ("gsu_span_p50_us", "gauge"),
+            ("gsu_span_p95_us", "gauge"),
+            ("gsu_span_p99_us", "gauge"),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            for (name, s) in &snapshot.spans {
+                let value = match family {
+                    "gsu_span_count" => s.count,
+                    "gsu_span_total_us" => s.total_us,
+                    "gsu_span_max_us" => s.max_us,
+                    "gsu_span_p50_us" => s.p50_us,
+                    "gsu_span_p95_us" => s.p95_us,
+                    _ => s.p99_us,
+                };
+                let _ = writeln!(out, "{family}{{span=\"{}\"}} {value}", escape_label(name));
+            }
+        }
+    }
+
+    out
+}
+
+/// Prefixes `gsu_` and maps characters outside the Prometheus metric-name
+/// alphabet to `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("gsu_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value (backslash, double quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value; Prometheus spells non-finite values `NaN`,
+/// `+Inf`, and `-Inf`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::Sink as _;
+
+    #[test]
+    fn sanitize_prefixes_and_replaces() {
+        assert_eq!(sanitize("solver.iterations"), "gsu_solver_iterations");
+        assert_eq!(sanitize("a-b c"), "gsu_a_b_c");
+        assert_eq!(sanitize("ok_name:x9"), "gsu_ok_name:x9");
+    }
+
+    #[test]
+    fn values_use_prometheus_spellings() {
+        assert_eq!(fmt_value(1.5), "1.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let c = Collector::new();
+        for v in [0.5, 5.0, 50.0, 50.0] {
+            c.observe("h", v);
+        }
+        let text = c.snapshot().prometheus_text();
+        let bucket_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("gsu_h_bucket"))
+            .collect();
+        let last = bucket_lines.last().unwrap();
+        assert!(last.contains("le=\"+Inf\""), "last bucket must be +Inf");
+        assert!(last.ends_with(" 4"), "+Inf bucket carries the total count");
+        // Cumulative counts never decrease.
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert!(text.contains("gsu_h_sum 105.5"));
+        assert!(text.contains("gsu_h_count 4"));
+        assert!(text.contains("gsu_h_p50 "));
+    }
+
+    #[test]
+    fn span_families_carry_labels() {
+        let c = Collector::new();
+        c.record_span(crate::SpanRecord {
+            name: "performability.evaluate".into(),
+            start: std::time::Instant::now(),
+            end: std::time::Instant::now(),
+            tid: 1,
+            depth: 0,
+            args: Vec::new(),
+        });
+        let text = c.snapshot().prometheus_text();
+        assert!(text.contains("gsu_span_count{span=\"performability.evaluate\"} 1"));
+        assert!(text.contains("# TYPE gsu_span_p99_us gauge"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

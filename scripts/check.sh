@@ -20,4 +20,36 @@ GSU_THREADS=1 cargo test --offline --workspace -q
 echo "==> cargo test -q (GSU_THREADS=4)"
 GSU_THREADS=4 cargo test --offline --workspace -q
 
+# Observability smoke: boot the daemon on an ephemeral port, probe the
+# endpoints a scraper would hit, and validate the exposition shape.
+echo "==> gsu-serve smoke"
+cargo build --offline --release -p gsu-serve -p gsu-bench --bins
+SERVE_LOG="$(mktemp)"
+target/release/gsu-serve --addr 127.0.0.1:0 --workers 2 > "$SERVE_LOG" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SERVE_LOG"' EXIT
+SERVE_URL=""
+for _ in $(seq 1 50); do
+    SERVE_URL="$(sed -n 's#^gsu-serve listening on \(http://.*\)$#\1#p' "$SERVE_LOG")"
+    [ -n "$SERVE_URL" ] && break
+    sleep 0.1
+done
+[ -n "$SERVE_URL" ] || { echo "gsu-serve never reported its address"; exit 1; }
+if command -v curl > /dev/null; then
+    curl -fsS "$SERVE_URL/healthz" | grep -qx 'ok'
+    curl -fsS "$SERVE_URL/metrics" | grep -q '^# TYPE gsu_'
+    curl -fsS "$SERVE_URL/eval?phi=0.5" | grep -q '"y":'
+    echo "curl probes ok ($SERVE_URL)"
+fi
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+# The built-in self-test re-validates every endpoint (including error paths)
+# through the real TCP stack, with or without curl present.
+target/release/gsu-serve smoke --workers 2
+
+# Bench regression gate: committed sweep numbers vs the committed baseline.
+# --no-update keeps the gate read-only so the tree stays clean under CI.
+echo "==> gsu-bench regress"
+target/release/gsu-bench regress --no-update
+
 echo "All checks passed."

@@ -1,0 +1,126 @@
+//! Concurrency contract of the telemetry collector: four pool workers emit
+//! counters, observations, and spans while the main thread repeatedly calls
+//! `Collector::snapshot()`. No emission may be lost, counters must be
+//! monotone across snapshots, and both exported formats (Prometheus text
+//! exposition, `gsu-telemetry-v2` run report) must stay well-formed at every
+//! intermediate snapshot.
+//!
+//! One `#[test]` because the telemetry sink is process-global.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use telemetry::Snapshot;
+
+const WORKERS: usize = 4;
+const EMISSIONS_PER_WORKER: u64 = 2_000;
+
+#[test]
+fn concurrent_emission_loses_nothing_and_snapshots_stay_valid() {
+    let collector = telemetry::Collector::install();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // WORKERS + 1 slots: the scope's calling thread only drains tasks after
+    // the closure returns, and the closure below runs the snapshot loop
+    // until every emitter finishes.
+    let pool = pool::Pool::new(WORKERS + 1);
+    pool.scope(|scope| {
+        let done = &done;
+        for worker in 0..WORKERS {
+            let done = done.clone();
+            scope.spawn(move || {
+                for i in 0..EMISSIONS_PER_WORKER {
+                    telemetry::counter("conc.events", 1);
+                    telemetry::gauge("conc.last_i", i as f64);
+                    telemetry::observe("conc.value", (worker * 7 + 1) as f64);
+                    if i % 500 == 0 {
+                        let mut span = telemetry::span("conc.burst");
+                        span.record("worker", worker as u64);
+                    }
+                }
+                if worker == WORKERS - 1 {
+                    // Not a synchronization barrier — just lets the snapshot
+                    // loop below terminate promptly once traffic stops.
+                    done.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Snapshot continuously while the workers hammer the sink.
+        let mut last_events = 0u64;
+        let mut snapshots = 0u64;
+        while !done.load(Ordering::Relaxed) {
+            let snapshot = collector.snapshot();
+            let events = counter_of(&snapshot, "conc.events");
+            assert!(
+                events >= last_events,
+                "counter went backwards: {last_events} -> {events}"
+            );
+            last_events = events;
+            assert_valid_exports(&snapshot);
+            snapshots += 1;
+        }
+        assert!(snapshots > 0, "snapshot loop never ran");
+    });
+
+    // Traffic has stopped (scope joined): the final snapshot must be exact.
+    let snapshot = collector.snapshot();
+    let total = WORKERS as u64 * EMISSIONS_PER_WORKER;
+    assert_eq!(counter_of(&snapshot, "conc.events"), total);
+
+    let hist = snapshot
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "conc.value")
+        .map(|(_, h)| h)
+        .expect("conc.value histogram");
+    assert_eq!(hist.count, total);
+    // Σ over workers of EMISSIONS_PER_WORKER * (7w + 1).
+    let expected_sum: f64 = (0..WORKERS)
+        .map(|w| EMISSIONS_PER_WORKER as f64 * (w * 7 + 1) as f64)
+        .sum();
+    assert!(
+        (hist.sum - expected_sum).abs() < 1e-6 * expected_sum,
+        "sum {} != {expected_sum}",
+        hist.sum
+    );
+    assert_eq!(hist.min, 1.0);
+    assert_eq!(hist.max, (7 * (WORKERS - 1) + 1) as f64);
+
+    let spans = snapshot
+        .spans
+        .iter()
+        .find(|(name, _)| name == "conc.burst")
+        .map(|(_, s)| s)
+        .expect("conc.burst spans");
+    assert_eq!(
+        spans.count,
+        WORKERS as u64 * (EMISSIONS_PER_WORKER.div_ceil(500))
+    );
+
+    assert_valid_exports(&snapshot);
+    telemetry::clear_sink();
+}
+
+fn counter_of(snapshot: &Snapshot, name: &str) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// Both export formats must parse at any point in time, not just at rest.
+fn assert_valid_exports(snapshot: &Snapshot) {
+    let text = snapshot.prometheus_text();
+    if !text.is_empty() {
+        gsu_serve::validate_exposition(&text).expect("valid Prometheus exposition");
+    }
+    let report = snapshot.run_report_json();
+    assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v2\""));
+    assert_eq!(
+        report.matches('{').count(),
+        report.matches('}').count(),
+        "unbalanced braces in run report"
+    );
+}
