@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! gsu-bench regress [--baseline PATH] [--current PATH]
-//!                   [--threshold FRACTION] [--no-update]
+//!                   [--threshold FRACTION] [--no-update] [--allow-missing]
 //! ```
 //!
 //! Compares the current `BENCH_sweep.json` against the committed baseline
-//! and exits 0 on pass, 1 on regression, 2 on usage or I/O errors. See
-//! [`gsu_bench::regress`] for the gate semantics.
+//! and exits 0 on pass, 1 on regression or on a baseline entry missing from
+//! the current log (`--allow-missing` downgrades the latter to a note), and
+//! 2 on usage or I/O errors. See [`gsu_bench::regress`] for the gate
+//! semantics.
 
 #![forbid(unsafe_code)]
 
@@ -16,7 +18,7 @@ use std::process::ExitCode;
 use gsu_bench::regress::{RegressConfig, DEFAULT_THRESHOLD};
 
 const USAGE: &str = "usage: gsu-bench regress [--baseline PATH] [--current PATH] \
-                     [--threshold FRACTION] [--no-update]";
+                     [--threshold FRACTION] [--no-update] [--allow-missing]";
 
 fn main() -> ExitCode {
     telemetry::init_log_from_env("GSU_LOG");
@@ -51,6 +53,7 @@ fn regress(mut args: impl Iterator<Item = String>) -> ExitCode {
                 _ => return usage("--threshold needs a non-negative fraction (e.g. 0.10)"),
             },
             "--no-update" => config.update = false,
+            "--allow-missing" => config.allow_missing = true,
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }

@@ -28,6 +28,10 @@ pub struct RegressConfig {
     pub threshold: f64,
     /// Whether a passing run merges current numbers into the baseline.
     pub update: bool,
+    /// Whether baseline entries missing from the current log are tolerated.
+    /// Off by default: a silently vanished experiment is exactly the kind
+    /// of coverage loss the gate exists to catch.
+    pub allow_missing: bool,
 }
 
 impl Default for RegressConfig {
@@ -37,6 +41,7 @@ impl Default for RegressConfig {
             current: PathBuf::from("results/BENCH_sweep.json"),
             threshold: DEFAULT_THRESHOLD,
             update: true,
+            allow_missing: false,
         }
     }
 }
@@ -67,16 +72,20 @@ pub struct RegressReport {
     pub compared: Vec<Comparison>,
     /// Current records with no baseline entry (seeded, never failing).
     pub added: Vec<BenchRecord>,
-    /// Baseline records the current log no longer has (kept, reported).
+    /// Baseline records the current log no longer has (kept in the
+    /// baseline, but failing the gate unless `allow_missing` is set).
     pub stale: Vec<BenchRecord>,
     /// Whether the baseline file was created from scratch this run.
     pub seeded: bool,
+    /// Whether stale baseline entries were tolerated this run.
+    pub allow_missing: bool,
 }
 
 impl RegressReport {
-    /// `true` when no compared pair regressed.
+    /// `true` when no compared pair regressed and no baseline entry went
+    /// missing (unless missing entries were explicitly allowed).
     pub fn passed(&self) -> bool {
-        self.compared.iter().all(|c| !c.regressed)
+        self.compared.iter().all(|c| !c.regressed) && (self.allow_missing || self.stale.is_empty())
     }
 
     /// Human-readable gate summary (one line per pair).
@@ -108,8 +117,14 @@ impl RegressReport {
         for r in &self.stale {
             let _ = writeln!(
                 out,
-                "regress: {:<22} threads={} baseline entry has no current run",
-                r.name, r.threads
+                "regress: {:<22} threads={} baseline entry MISSING from current run{}",
+                r.name,
+                r.threads,
+                if self.allow_missing {
+                    " (allowed by --allow-missing)"
+                } else {
+                    ""
+                }
             );
         }
         let _ = writeln!(
@@ -167,6 +182,7 @@ pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord], threshold: f64
         added,
         stale,
         seeded: false,
+        allow_missing: false,
     }
 }
 
@@ -193,6 +209,7 @@ pub fn run(config: &RegressConfig) -> std::io::Result<RegressReport> {
     };
     let mut report = compare(&baseline, &current, config.threshold);
     report.seeded = seeded;
+    report.allow_missing = config.allow_missing;
     if report.passed() && config.update {
         // Merge rather than overwrite: stale baseline entries survive until
         // their experiment runs again.
@@ -245,27 +262,54 @@ mod tests {
     }
 
     #[test]
-    fn speedups_and_new_and_stale_never_fail() {
+    fn speedups_and_new_entries_never_fail() {
         let report = compare(
-            &[rec("fig9", 100.0, 1), rec("gone", 50.0, 1)],
+            &[rec("fig9", 100.0, 1)],
             &[rec("fig9", 40.0, 1), rec("fig10", 70.0, 4)],
             0.10,
         );
         assert!(report.passed());
         assert_eq!(report.added.len(), 1);
-        assert_eq!(report.stale.len(), 1);
         assert_eq!(report.added[0].name, "fig10");
+    }
+
+    #[test]
+    fn stale_baseline_entries_fail_unless_allowed() {
+        // A baseline pair absent from the sweep means an experiment silently
+        // stopped running — that must fail loudly, not slide through.
+        let mut report = compare(
+            &[rec("fig9", 100.0, 1), rec("gone", 50.0, 1)],
+            &[rec("fig9", 90.0, 1)],
+            0.10,
+        );
+        assert!(!report.passed());
+        assert_eq!(report.stale.len(), 1);
         assert_eq!(report.stale[0].name, "gone");
+        let rendered = report.render();
+        assert!(rendered.contains("MISSING"), "{rendered}");
+        assert!(rendered.contains("FAIL"), "{rendered}");
+
+        // The explicit escape hatch downgrades it to a reported note.
+        report.allow_missing = true;
+        assert!(report.passed());
+        let rendered = report.render();
+        assert!(
+            rendered.contains("allowed by --allow-missing"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("PASS"), "{rendered}");
     }
 
     #[test]
     fn threads_distinguish_records() {
         // Same experiment at a different pool width is a new pair, not a
-        // comparison against the wrong baseline.
+        // comparison against the wrong baseline — and the 1-thread baseline
+        // entry now counts as missing from the current run.
         let report = compare(&[rec("fig9", 100.0, 1)], &[rec("fig9", 500.0, 4)], 0.10);
-        assert!(report.passed());
         assert_eq!(report.compared.len(), 0);
         assert_eq!(report.added.len(), 1);
+        assert_eq!(report.stale.len(), 1);
+        assert!(!report.passed());
     }
 
     #[test]
@@ -277,7 +321,7 @@ mod tests {
             baseline: dir.join("BENCH_baseline.json"),
             current: dir.join("BENCH_sweep.json"),
             threshold: 0.10,
-            update: true,
+            ..RegressConfig::default()
         };
 
         // Missing current log is an error.

@@ -433,13 +433,20 @@ impl GsuAnalysis {
         let theta = self.params.theta;
         let grid = grid.max(2);
         let points = self.sweep_grid(grid)?;
-        let best_idx = points
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| a.y.total_cmp(&b.y))
-            .map(|(i, _)| i)
-            .expect("grid is non-empty");
-        let mut best = points[best_idx];
+        let Some(&first) = points.first() else {
+            return Err(PerfError::InvalidParameter {
+                name: "grid",
+                value: grid as f64,
+                expected: "a grid that yields at least one sweep point",
+            });
+        };
+        // `is_ge` keeps the *last* maximum, matching `Iterator::max_by`.
+        let mut best = first;
+        for p in &points[1..] {
+            if p.y.total_cmp(&best.y).is_ge() {
+                best = *p;
+            }
+        }
 
         // Bracket around the best coarse point.
         let step = theta / grid as f64;

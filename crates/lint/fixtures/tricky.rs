@@ -1,0 +1,41 @@
+//! Self-test fixture: tricky token sequences that must NOT trip any rule.
+//! Linted by `gsu-lint self-test` as if it were a library crate root.
+#![forbid(unsafe_code)]
+
+/// A raw string containing policy keywords is just text.
+pub const DOCS: &str = r#"calling unsafe { code } or x.unwrap() here is fine"#;
+
+/// Counted-hash raw strings swallow embedded quotes and short hash runs.
+pub const NESTED: &str = r##"a "#quote"# then x.expect("boom") and panic!("no")"##;
+
+// x.unwrap(); — a commented-out unwrap is invisible to the lexer.
+/* so is a /* nested */ block comment with println!("hi")
+   and std::env::var("HOME") and y == 1.5 */
+
+/// Lifetimes are not char literals, and char literals are not lifetimes.
+pub fn first<'a>(xs: &'a [char]) -> Option<&'a char> {
+    let _tick = '\'';
+    let _x = 'x';
+    xs.first()
+}
+
+/// Exact comparison against the 0.0 sentinel is the sanctioned idiom.
+pub fn is_unset(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Ranges and method calls on integers are not float literals.
+pub fn span() -> usize {
+    let r = 1..3;
+    r.len().max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_print() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        println!("tests may print: {}", 1.5_f64 == 1.5_f64);
+    }
+}

@@ -1,0 +1,11 @@
+//! Self-test fixture: exactly one violation of every source rule.
+//! The missing #![forbid(unsafe_code)] attribute is itself the sixth
+//! violation (forbid-unsafe). Never compiled — only lexed.
+
+pub fn violations(x: Option<u8>, y: f64) -> bool {
+    let v = x.unwrap();
+    let _nope = unsafe { core::mem::zeroed::<u8>() };
+    println!("v = {v}");
+    let _home = std::env::var("HOME");
+    y == 1.5
+}

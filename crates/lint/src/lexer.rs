@@ -1,0 +1,555 @@
+//! A minimal hand-rolled Rust lexer — just enough lexical fidelity for
+//! policy linting, no syntax tree.
+//!
+//! The scanner understands the token shapes that defeat naive grep-based
+//! policy checks: nested block comments, doc comments, string literals with
+//! escapes, **raw strings** (`r#"…"#` may contain `unsafe` or `.unwrap()`
+//! verbatim), byte strings, char literals vs lifetimes, and numeric
+//! literals with separators/suffixes (so `1.5f64` is one float token).
+//! Comments and whitespace are dropped; everything else becomes a [`Tok`]
+//! with its 1-based line number.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a` — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (any base, with suffix).
+    IntLit,
+    /// Float literal; [`Tok::float_value`] recovers its value.
+    FloatLit,
+    /// String/raw-string/byte-string literal (contents opaque).
+    StrLit,
+    /// Char or byte literal.
+    CharLit,
+    /// Operator or delimiter, maximal-munch (`==`, `::`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Source text of the token (literals keep their quotes/prefixes).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` for a punct token with exactly this text.
+    pub fn is_punct(&self, op: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == op
+    }
+
+    /// Numeric value of a float literal (separators and any `f32`/`f64`
+    /// suffix stripped); `None` for other kinds.
+    pub fn float_value(&self) -> Option<f64> {
+        if self.kind != TokKind::FloatLit {
+            return None;
+        }
+        let cleaned: String = self.text.chars().filter(|&c| c != '_').collect();
+        let cleaned = cleaned
+            .strip_suffix("f64")
+            .or_else(|| cleaned.strip_suffix("f32"))
+            .unwrap_or(&cleaned);
+        cleaned.parse().ok()
+    }
+}
+
+/// Multi-char operators, longest first so maximal munch works by scan order.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.i..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source`, dropping comments and whitespace.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        src: source.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = s.peek(0) {
+        let line = s.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek(1) == Some(b'/') => {
+                while let Some(c) = s.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    s.bump();
+                }
+            }
+            b'/' if s.peek(1) == Some(b'*') => {
+                s.bump();
+                s.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (s.peek(0), s.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            s.bump();
+                            s.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            s.bump();
+                            s.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                let start = s.i;
+                scan_quoted(&mut s);
+                push(&mut toks, TokKind::StrLit, &s, start, line);
+            }
+            b'\'' => {
+                // Lifetime when followed by an identifier that is not
+                // immediately closed by another quote (`'a` vs `'a'`).
+                let start = s.i;
+                if s.peek(1).is_some_and(is_ident_start) && s.peek(2) != Some(b'\'') {
+                    s.bump();
+                    while s.peek(0).is_some_and(is_ident_continue) {
+                        s.bump();
+                    }
+                    push(&mut toks, TokKind::Lifetime, &s, start, line);
+                } else {
+                    s.bump();
+                    loop {
+                        match s.bump() {
+                            Some(b'\\') => {
+                                s.bump();
+                            }
+                            Some(b'\'') | None => break,
+                            Some(_) => {}
+                        }
+                    }
+                    push(&mut toks, TokKind::CharLit, &s, start, line);
+                }
+            }
+            _ if raw_string_hashes(&s).is_some() => {
+                let start = s.i;
+                // Skip the prefix (`r`, `br`) and opening hashes + quote.
+                let hashes = raw_string_hashes(&s).unwrap_or(0);
+                while s.peek(0).is_some_and(|c| c != b'"') {
+                    s.bump();
+                }
+                s.bump();
+                let closer = format!("\"{}", "#".repeat(hashes));
+                while s.peek(0).is_some() && !s.starts_with(&closer) {
+                    s.bump();
+                }
+                for _ in 0..closer.len() {
+                    s.bump();
+                }
+                push(&mut toks, TokKind::StrLit, &s, start, line);
+            }
+            b'b' if s.peek(1) == Some(b'"') => {
+                let start = s.i;
+                s.bump();
+                scan_quoted(&mut s);
+                push(&mut toks, TokKind::StrLit, &s, start, line);
+            }
+            b'b' if s.peek(1) == Some(b'\'') => {
+                let start = s.i;
+                s.bump();
+                s.bump();
+                loop {
+                    match s.bump() {
+                        Some(b'\\') => {
+                            s.bump();
+                        }
+                        Some(b'\'') | None => break,
+                        Some(_) => {}
+                    }
+                }
+                push(&mut toks, TokKind::CharLit, &s, start, line);
+            }
+            _ if is_ident_start(b) => {
+                let start = s.i;
+                while s.peek(0).is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                push(&mut toks, TokKind::Ident, &s, start, line);
+            }
+            _ if b.is_ascii_digit() => {
+                let start = s.i;
+                let kind = scan_number(&mut s);
+                push(&mut toks, kind, &s, start, line);
+            }
+            _ => {
+                let start = s.i;
+                let munched = PUNCTS.iter().find(|p| s.starts_with(p));
+                match munched {
+                    Some(p) => {
+                        for _ in 0..p.len() {
+                            s.bump();
+                        }
+                    }
+                    None => {
+                        s.bump();
+                    }
+                }
+                push(&mut toks, TokKind::Punct, &s, start, line);
+            }
+        }
+    }
+    toks
+}
+
+fn push(toks: &mut Vec<Tok>, kind: TokKind, s: &Scanner<'_>, start: usize, line: u32) {
+    let text = String::from_utf8_lossy(&s.src[start..s.i]).into_owned();
+    toks.push(Tok { kind, text, line });
+}
+
+/// Consumes a `"…"` literal starting at the opening quote.
+fn scan_quoted(s: &mut Scanner<'_>) {
+    s.bump();
+    loop {
+        match s.bump() {
+            Some(b'\\') => {
+                s.bump();
+            }
+            Some(b'"') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// When the scanner sits on a raw/raw-byte string opener (`r"`, `r#…#"`,
+/// `br"`, …), the number of hashes; otherwise `None`. Plain identifiers
+/// starting with `r`/`br` (e.g. `rate`) fall through to ident scanning.
+fn raw_string_hashes(s: &Scanner<'_>) -> Option<usize> {
+    let mut j = match s.peek(0) {
+        Some(b'r') => 1,
+        Some(b'b') if s.peek(1) == Some(b'r') => 2,
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    while s.peek(j) == Some(b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (s.peek(j) == Some(b'"')).then_some(hashes)
+}
+
+/// Scans a numeric literal; returns its kind.
+fn scan_number(s: &mut Scanner<'_>) -> TokKind {
+    let radix_prefix = s.peek(0) == Some(b'0')
+        && matches!(s.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if radix_prefix {
+        s.bump();
+        s.bump();
+        while s
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            s.bump();
+        }
+        return TokKind::IntLit;
+    }
+    let mut float = false;
+    while s.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        s.bump();
+    }
+    // Fractional part only when followed by a digit, so `1..3` and
+    // `1.max(2)` keep the integer token intact.
+    if s.peek(0) == Some(b'.') && s.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        s.bump();
+        while s.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            s.bump();
+        }
+    }
+    if matches!(s.peek(0), Some(b'e' | b'E')) {
+        let sign = usize::from(matches!(s.peek(1), Some(b'+' | b'-')));
+        if s.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            for _ in 0..=sign {
+                s.bump();
+            }
+            while s.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                s.bump();
+            }
+        }
+    }
+    // Suffix (`f64`, `u32`, …) — a float suffix forces float-ness.
+    let suffix_start = s.i;
+    while s.peek(0).is_some_and(is_ident_continue) {
+        s.bump();
+    }
+    let suffix = &s.src[suffix_start..s.i];
+    if suffix == b"f32" || suffix == b"f64" {
+        float = true;
+    }
+    if float {
+        TokKind::FloatLit
+    } else {
+        TokKind::IntLit
+    }
+}
+
+/// Half-open token-index ranges covered by `#[cfg(test)]`-gated items (or
+/// `#[test]` functions): the attribute tokens themselves plus the following
+/// item up to its closing brace or terminating semicolon.
+///
+/// An attribute gates its item when any bare identifier inside the
+/// `#[…]` group is `test` — this covers `#[test]`, `#[cfg(test)]`, and
+/// `#[cfg(all(test, feature = "x"))]`; string literals like
+/// `#[doc = "test"]` do not count because they are not identifier tokens.
+pub fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Find the matching `]` of the attribute group.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut gates_test = false;
+        while j < toks.len() {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].is_ident("test") {
+                gates_test = true;
+            }
+            j += 1;
+        }
+        if !gates_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = j + 1;
+        while k < toks.len()
+            && toks[k].is_punct("#")
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("["))
+        {
+            let mut d = 0usize;
+            while k < toks.len() {
+                if toks[k].is_punct("[") {
+                    d += 1;
+                } else if toks[k].is_punct("]") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // The item ends at the matching `}` of its first brace block, or at
+        // a `;` before any brace opens.
+        let mut braces = 0usize;
+        let mut end = toks.len();
+        while k < toks.len() {
+            if toks[k].is_punct("{") {
+                braces += 1;
+            } else if toks[k].is_punct("}") {
+                braces = braces.saturating_sub(1);
+                if braces == 0 {
+                    end = k + 1;
+                    break;
+                }
+            } else if toks[k].is_punct(";") && braces == 0 {
+                end = k + 1;
+                break;
+            }
+            k += 1;
+        }
+        regions.push((attr_start, end));
+        i = end;
+    }
+    regions
+}
+
+/// `true` when token index `i` falls inside any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], i: usize) -> bool {
+    regions.iter().any(|&(a, b)| a <= i && i < b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_dropped_even_nested() {
+        assert!(lex("// unsafe .unwrap()\n/* outer /* unsafe */ still comment */").is_empty());
+        let toks = lex("a /* x */ b");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_swallow_contents() {
+        let toks = lex(r####"let s = r#"unsafe { x.unwrap() }"#;"####);
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 1);
+        // An identifier starting with `r` is not a raw string.
+        let toks = lex("rate r2 br2");
+        assert!(toks.iter().all(|t| t.kind == TokKind::Ident));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_classify() {
+        let toks = lex("1 1.5 1e-3 0x_ff 2.0f64 10f32 7u64 1..3 t.0 1.max(2)");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::FloatLit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, ["1.5", "1e-3", "2.0f64", "10f32"]);
+        assert_eq!(lex("1.5")[0].float_value(), Some(1.5));
+        assert_eq!(lex("2_000.5f64")[0].float_value(), Some(2000.5));
+        assert_eq!(lex("1e-3")[0].float_value(), Some(1e-3));
+    }
+
+    #[test]
+    fn maximal_munch_puncts() {
+        let toks = lex("a == b != c :: d => e .. f");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "::", "=>", ".."]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        // A multi-line raw string advances the line counter.
+        let toks = lex("r\"x\ny\" z");
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src =
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }\nfn c() {}";
+        let toks = lex(src);
+        let regions = test_regions(&toks);
+        assert_eq!(regions.len(), 1);
+        let unwraps: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!in_regions(&regions, unwraps[0]));
+        assert!(in_regions(&regions, unwraps[1]));
+        // `fn c` is outside.
+        let c = toks.iter().position(|t| t.is_ident("c")).unwrap();
+        assert!(!in_regions(&regions, c));
+    }
+
+    #[test]
+    fn test_attribute_gates_single_fn() {
+        let src = "#[test]\nfn t() { a.unwrap() }\nfn lib() { }";
+        let toks = lex(src);
+        let regions = test_regions(&toks);
+        assert_eq!(regions.len(), 1);
+        let lib = toks.iter().position(|t| t.is_ident("lib")).unwrap();
+        assert!(!in_regions(&regions, lib));
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_gate() {
+        let src = "#[cfg(feature = \"extra\")]\nfn f() { x.unwrap() }";
+        let toks = lex(src);
+        assert!(test_regions(&toks).is_empty());
+        // And a doc-string mentioning test does not gate either.
+        let src = "#[doc = \"test\"]\nfn g() { }";
+        assert!(test_regions(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn kinds_smoke() {
+        let got = kinds("let x: f64 = 0.0;");
+        assert_eq!(got[0], (TokKind::Ident, "let".to_string()));
+        assert_eq!(got[4], (TokKind::Punct, "=".to_string()));
+        assert_eq!(got[5], (TokKind::FloatLit, "0.0".to_string()));
+    }
+}

@@ -1,0 +1,173 @@
+//! `gsu-lint` — std-only static analysis for the guarded-upgrade workspace.
+//!
+//! Two passes share one finding pipeline:
+//!
+//! * **Layer 1 (source policy, [`source`])** — a hand-rolled lexer
+//!   ([`lexer`]) walks every non-vendor `.rs` file and enforces the
+//!   workspace's coding policy: no `unsafe`, no `.unwrap()`/`panic!` in
+//!   library code, no stray `env::var` or `println!`, no float `==`, and a
+//!   mandatory `#![forbid(unsafe_code)]` on every crate root.
+//! * **Layer 2 (model semantics, [`semantics`])** — builds the paper's
+//!   actual GSU reward models and checks what the type system cannot:
+//!   generator rows sum to ~0, rates are finite and non-negative,
+//!   reducibility matches the solver each model is handed to, SAN
+//!   activities are live, rewards have support, and parameters sit in
+//!   their domains.
+//!
+//! Findings ([`diag::Finding`]) render as a human table or as
+//! tamper-evident `gsu-lint-v1` JSONL ([`report`]), can be suppressed by a
+//! committed fingerprint allowlist (`lint.allow`), and gate CI: any
+//! unsuppressed `deny` finding exits non-zero.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod report;
+pub mod semantics;
+pub mod source;
+
+pub use diag::{rule_info, Allowlist, Finding, Severity, RULES, SCHEMA};
+
+/// Fixture that must lint clean despite raw strings containing `unsafe`,
+/// commented-out `unwrap()` calls, lifetimes, and the `== 0.0` idiom.
+const TRICKY_FIXTURE: &str = include_str!("../fixtures/tricky.rs");
+/// Fixture violating every source rule exactly once.
+const VIOLATIONS_FIXTURE: &str = include_str!("../fixtures/violations.rs");
+
+/// Path both fixtures pretend to live at: a library crate root, so the full
+/// policy (including `forbid-unsafe`) applies.
+const FIXTURE_PATH: &str = "crates/fixture/src/lib.rs";
+
+/// Splits `findings` into (reported, suppressed-count) under `allow`.
+pub fn apply_allowlist(findings: Vec<Finding>, allow: &Allowlist) -> (Vec<Finding>, usize) {
+    let before = findings.len();
+    let reported: Vec<Finding> = findings.into_iter().filter(|f| !allow.allows(f)).collect();
+    let suppressed = before - reported.len();
+    (reported, suppressed)
+}
+
+/// `true` when `reported` contains a gate-failing finding.
+pub fn has_deny(reported: &[Finding]) -> bool {
+    reported.iter().any(|f| f.severity == Severity::Deny)
+}
+
+/// Runs the built-in self-test: the linter linting known-good and
+/// known-bad fixtures, round-tripping its own JSONL, rejecting tampered
+/// records, and catching a seeded generator defect. Returns one log line
+/// per passed step.
+///
+/// # Errors
+///
+/// A description of the first failed step.
+pub fn self_test() -> Result<Vec<String>, String> {
+    let mut log = Vec::new();
+
+    // 1. Tricky tokens produce no findings.
+    let clean = source::lint_source(FIXTURE_PATH, TRICKY_FIXTURE);
+    if !clean.is_empty() {
+        let rules: Vec<&str> = clean.iter().map(|f| f.rule.as_str()).collect();
+        return Err(format!(
+            "tricky fixture should lint clean but raised {rules:?} (first at {})",
+            clean[0].location
+        ));
+    }
+    log.push(format!(
+        "tricky fixture: 0 findings across {} lines of raw strings, nested comments, \
+         lifetimes, and sentinel comparisons",
+        TRICKY_FIXTURE.lines().count()
+    ));
+
+    // 2. The violations fixture trips every source rule exactly once.
+    let violations = source::lint_source(FIXTURE_PATH, VIOLATIONS_FIXTURE);
+    let mut got: Vec<&str> = violations.iter().map(|f| f.rule.as_str()).collect();
+    got.sort_unstable();
+    let mut want = vec![
+        "float-eq",
+        "forbid-unsafe",
+        "no-env-var",
+        "no-print",
+        "no-unwrap",
+        "unsafe-block",
+    ];
+    want.sort_unstable();
+    if got != want {
+        return Err(format!(
+            "violations fixture raised {got:?}, expected exactly {want:?}"
+        ));
+    }
+    log.push(format!(
+        "violations fixture: all {} source rules fired exactly once",
+        want.len()
+    ));
+
+    // 3. JSONL round-trips losslessly through the validating parser.
+    let doc = report::render_jsonl(&violations);
+    let back = report::parse_jsonl(&doc)
+        .map_err(|e| format!("self-emitted jsonl failed validation: {e}"))?;
+    if back != violations {
+        return Err("jsonl round-trip changed the findings".to_string());
+    }
+    log.push(format!(
+        "jsonl: {} records round-tripped with fingerprints intact",
+        back.len()
+    ));
+
+    // 4. Tampered records are rejected (severity downgrade attempt).
+    let tampered = doc.replace("\"deny\"", "\"warn\"");
+    if report::parse_jsonl(&tampered).is_ok() {
+        return Err("tampered jsonl (deny -> warn) was accepted".to_string());
+    }
+    log.push("jsonl: tampered record rejected by fingerprint check".to_string());
+
+    // 5. The semantic pass catches a seeded row-sum defect of 1e-6.
+    let dense = sparsela::DenseMatrix::from_vec(2, 2, vec![-1.0, 1.0 + 1e-6, 0.0, 0.0])
+        .map_err(|e| format!("self-test matrix construction failed: {e:?}"))?;
+    let q = sparsela::CsrMatrix::from_dense(&dense);
+    let seeded = semantics::check_generator("self-test", &q, semantics::SolverIntent::Transient);
+    let hit = seeded
+        .iter()
+        .find(|f| f.rule == "ctmc-row-sum")
+        .ok_or_else(|| {
+            format!("seeded 1e-6 row-sum defect was not caught; findings: {seeded:?}")
+        })?;
+    if !hit.location.contains("state 0") {
+        return Err(format!(
+            "row-sum finding should name state 0, got {:?}",
+            hit.location
+        ));
+    }
+    log.push("semantics: seeded 1e-6 row-sum defect caught and named state 0".to_string());
+
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        let log = self_test().unwrap();
+        assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn allowlist_partitions() {
+        let findings = source::lint_source(FIXTURE_PATH, VIOLATIONS_FIXTURE);
+        let n = findings.len();
+        let all: String = findings
+            .iter()
+            .map(|f| format!("{:016x} {}\n", f.fingerprint(), f.rule))
+            .collect();
+        let allow = Allowlist::parse(&all).unwrap();
+        let (reported, suppressed) = apply_allowlist(findings.clone(), &allow);
+        assert!(reported.is_empty());
+        assert_eq!(suppressed, n);
+        assert!(!has_deny(&reported));
+        let (reported, suppressed) = apply_allowlist(findings, &Allowlist::default());
+        assert_eq!(reported.len(), n);
+        assert_eq!(suppressed, 0);
+        assert!(has_deny(&reported));
+    }
+}

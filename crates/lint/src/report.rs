@@ -1,0 +1,164 @@
+//! Rendering: the human table, the per-rule summary, and JSONL I/O.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::diag::{parse_jsonl_line, rule_info, Finding, Severity};
+
+/// Renders findings as an aligned human-readable table (empty string for no
+/// findings).
+pub fn render_table(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return String::new();
+    }
+    let rule_w = findings
+        .iter()
+        .map(|f| f.rule.len())
+        .chain(["RULE".len()])
+        .max()
+        .unwrap_or(4);
+    let loc_w = findings
+        .iter()
+        .map(|f| f.location.len())
+        .chain(["LOCATION".len()])
+        .max()
+        .unwrap_or(8);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<rule_w$}  {:<4}  {:<loc_w$}  MESSAGE",
+        "RULE", "SEV", "LOCATION"
+    );
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{:<rule_w$}  {:<4}  {:<loc_w$}  {}",
+            f.rule, f.severity, f.location, f.message
+        );
+        if !f.suggestion.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<rule_w$}  {:<4}  {:<loc_w$}    -> {}",
+                "", "", "", f.suggestion
+            );
+        }
+    }
+    out
+}
+
+/// Renders the per-rule summary table that closes every run: counts of
+/// reported findings per rule, plus how many findings `lint.allow`
+/// suppressed.
+pub fn render_summary(reported: &[Finding], allowed: usize) -> String {
+    let mut counts: BTreeMap<&str, (Severity, usize)> = BTreeMap::new();
+    for f in reported {
+        let entry = counts.entry(f.rule.as_str()).or_insert((f.severity, 0));
+        entry.1 += 1;
+    }
+    let mut out = String::new();
+    if counts.is_empty() {
+        let _ = writeln!(out, "gsu-lint: no findings");
+    } else {
+        let _ = writeln!(out, "gsu-lint: findings by rule");
+        for (rule, (severity, n)) in &counts {
+            let summary = rule_info(rule).map_or("", |r| r.summary);
+            let _ = writeln!(out, "  {n:>4}  {severity:<4}  {rule:<26}  {summary}");
+        }
+    }
+    if allowed > 0 {
+        let _ = writeln!(out, "  {allowed:>4}  suppressed by lint.allow");
+    }
+    let denies = reported
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let _ = writeln!(
+        out,
+        "gsu-lint: {} finding(s), {} deny -> {}",
+        reported.len(),
+        denies,
+        if denies == 0 { "PASS" } else { "FAIL" }
+    );
+    out
+}
+
+/// Renders findings as `gsu-lint-v1` JSONL, one record per line.
+pub fn render_jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a whole JSONL document, validating every record (see
+/// [`parse_jsonl_line`]). Blank lines are ignored; an empty document is a
+/// valid empty report.
+///
+/// # Errors
+///
+/// Describes the first malformed record with its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        findings.push(parse_jsonl_line(line).map_err(|e| format!("jsonl line {}: {e}", i + 1))?);
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding::new("no-unwrap", "crates/a/src/lib.rs:3", "`.unwrap()`", "use ?"),
+            Finding::new(
+                "san-place-bound",
+                "model RMGd / place 'x'",
+                "4 tokens",
+                "check arcs",
+            ),
+        ]
+    }
+
+    #[test]
+    fn table_aligns_and_mentions_everything() {
+        let table = render_table(&sample());
+        assert!(table.contains("no-unwrap"));
+        assert!(table.contains("deny"));
+        assert!(table.contains("warn"));
+        assert!(table.contains("model RMGd / place 'x'"));
+        assert!(table.contains("-> use ?"));
+        assert!(render_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn summary_counts_and_verdict() {
+        let summary = render_summary(&sample(), 2);
+        assert!(summary.contains("findings by rule"));
+        assert!(summary.contains("suppressed by lint.allow"));
+        assert!(summary.contains("1 deny -> FAIL"));
+        // Warn-only findings pass.
+        let warn_only = vec![sample().remove(1)];
+        assert!(render_summary(&warn_only, 0).contains("0 deny -> PASS"));
+        assert!(render_summary(&[], 0).contains("no findings"));
+    }
+
+    #[test]
+    fn jsonl_document_round_trips() {
+        let findings = sample();
+        let doc = render_jsonl(&findings);
+        assert_eq!(doc.lines().count(), 2);
+        let back = parse_jsonl(&doc).unwrap();
+        assert_eq!(back, findings);
+        assert!(parse_jsonl("").unwrap().is_empty());
+        assert!(parse_jsonl("\n\n").unwrap().is_empty());
+        let err = parse_jsonl("{\"schema\":\"nope\"}").unwrap_err();
+        assert!(err.contains("line 1"));
+    }
+}

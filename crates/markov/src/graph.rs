@@ -79,9 +79,9 @@ pub fn strongly_connected_components(m: &CsrMatrix) -> (Vec<usize>, usize) {
                         lowlink[parent] = lowlink[parent].min(lowlink[v]);
                     }
                     if lowlink[v] == index[v] {
-                        // v is the root of an SCC.
-                        loop {
-                            let w = stack.pop().expect("tarjan stack invariant");
+                        // v is the root of an SCC; it is on the stack, so
+                        // the pop loop always terminates at it.
+                        while let Some(w) = stack.pop() {
                             on_stack[w] = false;
                             component[w] = count;
                             if w == v {

@@ -188,7 +188,11 @@ fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
         vector::normalize_l1(&mut pi);
         if delta <= options.tolerance && it > 1 {
             cleanup(&mut pi);
-            let method = if omega == 1.0 { "gauss_seidel" } else { "sor" };
+            let method = if sparsela::vector::approx_eq(omega, 1.0, 0.0) {
+                "gauss_seidel"
+            } else {
+                "sor"
+            };
             record_steady_solve(method, it, delta, options.tolerance);
             return Ok(pi);
         }

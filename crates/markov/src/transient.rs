@@ -189,10 +189,9 @@ pub fn distribution_batch(
 ) -> Result<Vec<Vec<f64>>> {
     ctmc.check_distribution(pi0)?;
     check_ascending_times(times)?;
-    if times.is_empty() {
+    let Some(&t_max) = times.last() else {
         return Ok(Vec::new());
-    }
-    let t_max = *times.last().expect("times is non-empty");
+    };
     if t_max == 0.0 || ctmc.max_exit_rate() == 0.0 {
         return Ok(times.iter().map(|_| pi0.to_vec()).collect());
     }
@@ -247,12 +246,11 @@ fn batch_uniformized(
             }
         })
         .collect::<Result<_>>()?;
-    let k_max = windows
-        .iter()
-        .flatten()
-        .map(|w| w.right)
-        .max()
-        .expect("t_max > 0 guarantees at least one window");
+    // `t_max > 0` guarantees at least one window; if none exists anyway,
+    // every requested time was 0 and the initial distribution is the answer.
+    let Some(k_max) = windows.iter().flatten().map(|w| w.right).max() else {
+        return Ok(times.iter().map(|_| pi0.to_vec()).collect());
+    };
     if let Some(widest) = windows.iter().flatten().last() {
         record_uniformization(lambda, widest);
     }

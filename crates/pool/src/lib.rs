@@ -32,7 +32,16 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked. The pool
+/// catches task panics ([`Shared::run_task`]) and re-raises them through its
+/// own channel, so lock poisoning carries no information here — every
+/// protected structure (deques, counters, the panic slot) stays consistent
+/// under unwinding.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Environment variable selecting the pool width.
 pub const THREADS_ENV: &str = "GSU_THREADS";
@@ -145,7 +154,11 @@ impl Pool {
             telemetry::counter("pool.tasks", shared.executed.load(Ordering::Relaxed));
             telemetry::counter("pool.steals", shared.steals.load(Ordering::Relaxed));
         }
-        if let Some(payload) = shared.panic.into_inner().unwrap() {
+        if let Some(payload) = shared
+            .panic
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
             resume_unwind(payload);
         }
         out
@@ -182,18 +195,19 @@ impl Pool {
                 for (i, item) in items.into_iter().enumerate() {
                     scope.spawn(move || {
                         let result = f(i, item);
-                        *slots[i].lock().unwrap() = Some(result);
+                        *lock_unpoisoned(&slots[i]) = Some(result);
                     });
                 }
             });
         }
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("scope exit guarantees every task ran")
-            })
+            .map(
+                |slot| match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                    Some(result) => result,
+                    None => unreachable!("scope exit guarantees every task ran"),
+                },
+            )
             .collect()
     }
 
@@ -266,15 +280,15 @@ impl<'env> Shared<'env> {
         // Lock order state -> queue, matching the parking re-check in
         // `run_worker`, so a worker can never observe the task count without
         // also observing the task.
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.state);
         state.unfinished += 1;
-        self.queues[queue].lock().unwrap().push_back(task);
+        lock_unpoisoned(&self.queues[queue]).push_back(task);
         drop(state);
         self.signal.notify_all();
     }
 
     fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.signal.notify_all();
     }
 
@@ -287,16 +301,19 @@ impl<'env> Shared<'env> {
             // Park until there is either work or proof that no more will
             // come. Queues are re-checked under the state lock to close the
             // race with a concurrent spawn.
-            let mut state = self.state.lock().unwrap();
+            let mut state = lock_unpoisoned(&self.state);
             loop {
                 if state.closed && state.unfinished == 0 {
                     return;
                 }
-                let work_available = self.queues.iter().any(|q| !q.lock().unwrap().is_empty());
+                let work_available = self.queues.iter().any(|q| !lock_unpoisoned(q).is_empty());
                 if work_available {
                     break;
                 }
-                state = self.signal.wait(state).unwrap();
+                state = self
+                    .signal
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -304,13 +321,13 @@ impl<'env> Shared<'env> {
     /// Pops from the worker's own deque, stealing from the back of a victim's
     /// deque when it is empty.
     fn grab(&self, worker: usize) -> Option<Task<'env>> {
-        if let Some(task) = self.queues[worker].lock().unwrap().pop_front() {
+        if let Some(task) = lock_unpoisoned(&self.queues[worker]).pop_front() {
             return Some(task);
         }
         let n = self.queues.len();
         for offset in 1..n {
             let victim = (worker + offset) % n;
-            if let Some(task) = self.queues[victim].lock().unwrap().pop_back() {
+            if let Some(task) = lock_unpoisoned(&self.queues[victim]).pop_back() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(task);
             }
@@ -322,13 +339,13 @@ impl<'env> Shared<'env> {
         // A panicking task must still be counted as finished, or the scope
         // (and every sibling worker) would park forever.
         if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-            let mut slot = self.panic.lock().unwrap();
+            let mut slot = lock_unpoisoned(&self.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
         }
         self.executed.fetch_add(1, Ordering::Relaxed);
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.state);
         state.unfinished -= 1;
         let quiesced = state.unfinished == 0;
         drop(state);

@@ -489,6 +489,54 @@ impl SanModel {
         Marking::from_tokens(self.places.iter().map(|p| p.initial).collect())
     }
 
+    /// `true` when `activity` is enabled in `marking`: all input arcs are
+    /// covered, all inline enabling predicates hold, and all input-gate
+    /// predicates hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` does not belong to this model.
+    pub fn is_activity_enabled(&self, activity: ActivityId, marking: &Marking) -> bool {
+        crate::semantics::is_enabled(self, self.activity(activity), marking)
+    }
+
+    /// The timed activities enabled in `marking` with their validated rates
+    /// (maximal progress: suppressed while an instantaneous activity is
+    /// enabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidFunction`] when a rate evaluates to a
+    /// negative or non-finite value.
+    pub fn enabled_timed_activities(&self, marking: &Marking) -> Result<Vec<(ActivityId, f64)>> {
+        crate::semantics::enabled_timed(self, marking)
+    }
+
+    /// The normalized case distribution of `activity` in `marking`, as
+    /// `(case index, probability)` pairs with zero-probability cases
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidFunction`] when a case probability is
+    /// negative/non-finite or all case probabilities are zero.
+    pub fn case_distribution_of(
+        &self,
+        activity: ActivityId,
+        marking: &Marking,
+    ) -> Result<Vec<(usize, f64)>> {
+        crate::semantics::case_distribution(self, activity, marking)
+    }
+
+    /// Number of cases of an activity (implicit default case counts as one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` does not belong to this model.
+    pub fn n_cases_of(&self, activity: ActivityId) -> usize {
+        self.activities[activity.0].cases.len()
+    }
+
     pub(crate) fn activity(&self, id: ActivityId) -> &Activity {
         &self.activities[id.0]
     }

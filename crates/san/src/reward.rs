@@ -93,6 +93,28 @@ impl RewardSpec {
         self.pairs.is_empty()
     }
 
+    /// For each predicate-rate pair (in insertion order), the number of
+    /// reachable tangible states whose marking satisfies the predicate.
+    ///
+    /// A support of zero usually means the predicate references an
+    /// unreachable marking (or a mistyped place) — the pair can never earn
+    /// reward, which is almost always a specification bug.
+    pub fn pair_support(&self, space: &StateSpace) -> Vec<usize> {
+        self.pairs
+            .iter()
+            .map(|(p, _)| {
+                (0..space.n_states())
+                    .filter(|&i| p(space.marking(i)))
+                    .count()
+            })
+            .collect()
+    }
+
+    /// The activities carrying impulse rewards, in unspecified order.
+    pub fn impulse_activities(&self) -> Vec<ActivityId> {
+        self.impulses.keys().copied().collect()
+    }
+
     /// The reward rate of a single marking under this spec.
     pub fn rate_of(&self, marking: &Marking) -> f64 {
         self.pairs

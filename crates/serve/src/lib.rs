@@ -26,7 +26,10 @@
 
 pub mod http;
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,7 +48,12 @@ struct ServerState {
     start: Instant,
     ready: AtomicBool,
     shutdown: AtomicBool,
+    lint_findings: PathBuf,
 }
+
+/// Default location of the findings file `gsu-lint --emit-telemetry`
+/// writes, relative to the daemon's working directory.
+pub const LINT_FINDINGS_PATH: &str = "results/lint-findings.jsonl";
 
 /// A bound (but not yet running) observability daemon.
 pub struct Server {
@@ -81,6 +89,7 @@ impl Server {
             start: Instant::now(),
             ready: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
+            lint_findings: PathBuf::from(LINT_FINDINGS_PATH),
         });
         Ok(Server {
             listener,
@@ -217,10 +226,12 @@ fn route(state: &ServerState, request: &Request) -> Response {
         }
         "/metrics" => {
             telemetry::gauge("serve.uptime_s", state.start.elapsed().as_secs_f64());
+            let mut body = state.collector.snapshot().prometheus_text();
+            body.push_str(&lint_exposition(&state.lint_findings));
             Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
-                body: state.collector.snapshot().prometheus_text(),
+                body,
             }
         }
         "/trace" => Response::json(200, state.collector.chrome_trace_json()),
@@ -276,6 +287,45 @@ pub fn sweep_point_json(point: &SweepPoint) -> String {
     )
 }
 
+/// Renders the `gsu_lint_findings_total` exposition block from the findings
+/// file `gsu-lint --emit-telemetry` writes. A missing file means lint has
+/// not run — the block is omitted entirely; a present-but-empty file yields
+/// an explicit zero sample so dashboards can tell "clean" from "never ran".
+pub fn lint_exposition(path: &Path) -> String {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return String::new();
+    };
+    let mut out = String::from(
+        "# HELP gsu_lint_findings_total Unsuppressed gsu-lint findings by rule and severity.\n\
+         # TYPE gsu_lint_findings_total gauge\n",
+    );
+    match gsu_lint::report::parse_jsonl(&text) {
+        Ok(findings) if findings.is_empty() => {
+            out.push_str("gsu_lint_findings_total 0\n");
+        }
+        Ok(findings) => {
+            let mut counts: BTreeMap<(String, &'static str), usize> = BTreeMap::new();
+            for f in &findings {
+                *counts
+                    .entry((f.rule.clone(), f.severity.as_str()))
+                    .or_insert(0) += 1;
+            }
+            for ((rule, severity), n) in &counts {
+                let _ = writeln!(
+                    out,
+                    "gsu_lint_findings_total{{rule=\"{rule}\",severity=\"{severity}\"}} {n}"
+                );
+            }
+        }
+        Err(e) => {
+            // A tampered or truncated findings file must not take /metrics
+            // down; surface the problem as a comment the validator skips.
+            let _ = writeln!(out, "# gsu-lint findings file invalid: {e}");
+        }
+    }
+    out
+}
+
 /// Validates a Prometheus text exposition: every sample line must be
 /// `name[{labels}] value` with a parsable value and a legal metric name.
 /// Returns the number of samples.
@@ -326,6 +376,48 @@ mod tests {
         assert!(validate_exposition("gsu_x one\n").is_err());
         assert!(validate_exposition("bad-name 1\n").is_err());
         assert!(validate_exposition("gsu_x{le=\"1\" 2\n").is_err());
+    }
+
+    #[test]
+    fn lint_exposition_states() {
+        let dir = std::env::temp_dir().join(format!("gsu-serve-lint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("lint-findings.jsonl");
+
+        // Missing file: lint never ran, no block at all.
+        assert_eq!(lint_exposition(&dir.join("absent.jsonl")), "");
+
+        // Empty file: explicit zero sample.
+        std::fs::write(&file, "").unwrap();
+        let body = lint_exposition(&file);
+        assert!(body.contains("gsu_lint_findings_total 0"), "{body}");
+        assert!(validate_exposition(&body).is_ok(), "{body}");
+
+        // Real findings aggregate by (rule, severity).
+        let findings = [
+            gsu_lint::Finding::new("no-unwrap", "crates/a/src/lib.rs:1", "m", "s"),
+            gsu_lint::Finding::new("no-unwrap", "crates/b/src/lib.rs:2", "m", "s"),
+            gsu_lint::Finding::new("san-place-bound", "model RMGd / place 'x'", "m", "s"),
+        ];
+        let doc: String = findings.iter().map(|f| f.to_jsonl() + "\n").collect();
+        std::fs::write(&file, doc).unwrap();
+        let body = lint_exposition(&file);
+        assert!(
+            body.contains("gsu_lint_findings_total{rule=\"no-unwrap\",severity=\"deny\"} 2"),
+            "{body}"
+        );
+        assert!(
+            body.contains("gsu_lint_findings_total{rule=\"san-place-bound\",severity=\"warn\"} 1"),
+            "{body}"
+        );
+        assert!(validate_exposition(&body).is_ok(), "{body}");
+
+        // A tampered file degrades to a comment, never a broken exposition.
+        std::fs::write(&file, "{\"schema\":\"gsu-lint-v0\"}\n").unwrap();
+        let body = lint_exposition(&file);
+        assert!(body.contains("# gsu-lint findings file invalid"), "{body}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -429,7 +429,9 @@ impl<'a> Engine<'a> {
     fn handle_block_done(&mut self, which: P) {
         let params = self.cfg.params;
         let t = self.t;
-        let (_, kind) = self.procs[which as usize].block.expect("block pending");
+        let Some((_, kind)) = self.procs[which as usize].block else {
+            unreachable!("block-done event fired for a process with no pending block");
+        };
         // Account blocking time against the guarded worth segment, and
         // restart the process's message clock from the completion instant
         // (emissions queued behind the block would otherwise fire in the

@@ -45,7 +45,12 @@ pub fn calibrate(params: &GsuParams, events: usize, rng: &mut SimRng) -> Calibra
     p.mu_new = f64::MIN_POSITIVE; // fault-free within any finite horizon
     p.mu_old = 0.0;
     p.theta = horizon;
-    let cfg = SimConfig::new(p, horizon).expect("calibration parameters are valid");
+    let cfg = match SimConfig::new(p, horizon) {
+        Ok(cfg) => cfg,
+        // The overrides (µ_new = MIN_POSITIVE, µ_old = 0, θ = horizon > 0)
+        // keep any caller-valid parameter set valid.
+        Err(e) => unreachable!("calibration parameters are valid: {e}"),
+    };
     let out = simulate_run(&cfg, rng);
     debug_assert_eq!(out.class, PathClass::S1);
     Calibration {
@@ -112,7 +117,7 @@ pub fn simulate_run_hybrid(config: &SimConfig, cal: &Calibration, rng: &mut SimR
 
     // --- Normal mode remainder. ------------------------------------------
     let (seg, class_if_survives) = match (detection, failure) {
-        (_, Some(_)) => (failure.unwrap().min(phi), PathClass::S3),
+        (_, Some(tf)) => (tf.min(phi), PathClass::S3),
         (Some(tau), None) => (tau.min(phi), PathClass::S2),
         (None, None) => (phi, PathClass::S1),
     };
@@ -151,13 +156,13 @@ pub fn simulate_run_hybrid(config: &SimConfig, cal: &Calibration, rng: &mut SimR
 
     let progress_p1 = cal.rho1 * seg;
     let progress_p2 = cal.rho2 * seg;
-    let worth = match class {
-        PathClass::S3 => 0.0,
-        PathClass::S2 => {
-            let tau = detection.expect("S2 has a detection time");
+    let worth = match (class, detection) {
+        (PathClass::S3, _) => 0.0,
+        (PathClass::S2, Some(tau)) => {
             config.gamma_for(tau) * (progress_p1 + progress_p2 + 2.0 * (theta - tau))
         }
-        PathClass::S1 => progress_p1 + progress_p2 + 2.0 * (theta - phi),
+        (PathClass::S2, None) => unreachable!("S2 has a detection time"),
+        (PathClass::S1, _) => progress_p1 + progress_p2 + 2.0 * (theta - phi),
     };
 
     RunOutcome {

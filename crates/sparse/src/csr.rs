@@ -265,17 +265,20 @@ impl CsrMatrix {
                 ),
             });
         }
-        let mut d = DenseMatrix::zeros(self.rows, self.cols);
-        for (r, c, v) in self.iter() {
-            d[(r, c)] = v;
-        }
-        Ok(d)
+        Ok(self.densify())
     }
 
     /// Converts to a dense matrix without a size guard.
     pub fn to_dense(&self) -> DenseMatrix {
-        self.to_dense_checked(usize::MAX)
-            .expect("to_dense with usize::MAX limit cannot fail")
+        self.densify()
+    }
+
+    fn densify(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
     }
 
     /// Maximum absolute row sum (the induced ∞-norm).

@@ -169,7 +169,11 @@ pub fn sor(
                 final_delta: delta,
             };
             record_solve(
-                if omega == 1.0 { "gauss_seidel" } else { "sor" },
+                if crate::vector::approx_eq(omega, 1.0, 0.0) {
+                    "gauss_seidel"
+                } else {
+                    "sor"
+                },
                 &conv,
                 opts,
             );

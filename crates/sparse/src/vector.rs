@@ -95,6 +95,13 @@ pub fn is_stochastic(x: &[f64], tol: f64) -> bool {
     x.iter().all(|&v| v >= -tol) && (x.iter().sum::<f64>() - 1.0).abs() <= tol
 }
 
+/// Returns `true` when `a` and `b` differ by at most `tol` (absolute), the
+/// workspace's sanctioned alternative to `==`/`!=` between floats. NaN
+/// compares unequal to everything, matching IEEE semantics.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -401,7 +401,7 @@ impl Collector {
                 let stats = SpanStats {
                     count: durs.len() as u64,
                     total_us: durs.iter().sum(),
-                    max_us: *durs.last().expect("non-empty by construction"),
+                    max_us: durs.last().copied().unwrap_or_default(),
                     p50_us: exact_quantile_us(&durs, 0.50),
                     p95_us: exact_quantile_us(&durs, 0.95),
                     p99_us: exact_quantile_us(&durs, 0.99),

@@ -144,24 +144,33 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Locks the sink registry, recovering the guard when a previous holder
+/// panicked: the registry only stores an `Option<Arc<dyn Sink>>`, so there is
+/// no half-written state to protect and telemetry must never take the
+/// process down.
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<Arc<dyn Sink>>> {
+    SINK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Installs `sink` as the global telemetry destination, replacing any
 /// previous one.
 pub fn set_sink(sink: Arc<dyn Sink>) {
-    *SINK.lock().expect("telemetry sink lock") = Some(sink);
+    *lock_sink() = Some(sink);
     ENABLED.store(true, Ordering::Relaxed);
 }
 
 /// Removes the global sink, restoring the no-op default.
 pub fn clear_sink() {
     ENABLED.store(false, Ordering::Relaxed);
-    *SINK.lock().expect("telemetry sink lock") = None;
+    *lock_sink() = None;
 }
 
 fn with_sink(f: impl FnOnce(&dyn Sink)) {
     if !enabled() {
         return;
     }
-    let sink = SINK.lock().expect("telemetry sink lock").clone();
+    let sink = lock_sink().clone();
     if let Some(sink) = sink {
         f(sink.as_ref());
     }

@@ -5,10 +5,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+echo "==> cargo fmt --check ($(cargo fmt --version))"
+# Style is pinned in rustfmt.toml so the check is toolchain-stable.
 cargo fmt --all -- --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
+echo "==> cargo clippy --workspace -- -D warnings ($(cargo clippy --version))"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # The suite runs twice: once serial, once on a 4-wide pool. Results must be
@@ -20,10 +21,26 @@ GSU_THREADS=1 cargo test --offline --workspace -q
 echo "==> cargo test -q (GSU_THREADS=4)"
 GSU_THREADS=4 cargo test --offline --workspace -q
 
+cargo build --offline --release -p gsu-serve -p gsu-bench -p gsu-lint --bins
+
+# Static-analysis gate: the linter first proves it can catch seeded
+# violations (self-test), then must find nothing deniable in the tree.
+# --emit-telemetry refreshes results/lint-findings.jsonl for /metrics.
+echo "==> gsu-lint self-test"
+target/release/gsu-lint self-test
+
+echo "==> gsu-lint --all"
+target/release/gsu-lint --all --emit-telemetry
+
+echo "==> gsu-lint jsonl round-trip"
+LINT_JSONL="$(mktemp)"
+target/release/gsu-lint --all --format jsonl > "$LINT_JSONL"
+target/release/gsu-lint validate-jsonl "$LINT_JSONL"
+rm -f "$LINT_JSONL"
+
 # Observability smoke: boot the daemon on an ephemeral port, probe the
 # endpoints a scraper would hit, and validate the exposition shape.
 echo "==> gsu-serve smoke"
-cargo build --offline --release -p gsu-serve -p gsu-bench --bins
 SERVE_LOG="$(mktemp)"
 target/release/gsu-serve --addr 127.0.0.1:0 --workers 2 > "$SERVE_LOG" &
 SERVE_PID=$!
@@ -38,6 +55,7 @@ done
 if command -v curl > /dev/null; then
     curl -fsS "$SERVE_URL/healthz" | grep -qx 'ok'
     curl -fsS "$SERVE_URL/metrics" | grep -q '^# TYPE gsu_'
+    curl -fsS "$SERVE_URL/metrics" | grep -q '^gsu_lint_findings_total'
     curl -fsS "$SERVE_URL/eval?phi=0.5" | grep -q '"y":'
     echo "curl probes ok ($SERVE_URL)"
 fi

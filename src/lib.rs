@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use markov;
 pub use mdcd_sim;
 pub use performability;
