@@ -1,15 +1,21 @@
-//! `gsu-bench`: harness utilities as a CLI. Currently one subcommand:
+//! `gsu-bench`: harness utilities as a CLI. Two subcommands:
 //!
 //! ```text
 //! gsu-bench regress [--baseline PATH] [--current PATH]
 //!                   [--threshold FRACTION] [--no-update] [--allow-missing]
+//! gsu-bench profile --trace PATH [--folded | --table]
 //! ```
 //!
-//! Compares the current `BENCH_sweep.json` against the committed baseline
-//! and exits 0 on pass, 1 on regression or on a baseline entry missing from
-//! the current log (`--allow-missing` downgrades the latter to a note), and
-//! 2 on usage or I/O errors. See [`gsu_bench::regress`] for the gate
-//! semantics.
+//! `regress` compares the current `BENCH_sweep.json` against the committed
+//! baseline — wall time *and* deterministic work metrics — and exits 0 on
+//! pass, 1 on regression or on a baseline entry missing from the current log
+//! (`--allow-missing` downgrades the latter to a note), and 2 on usage or
+//! I/O errors. See [`gsu_bench::regress`] for the gate semantics.
+//!
+//! `profile` rebuilds the span tree of a Chrome trace written by a
+//! `GSU_TELEMETRY=1` run (or fetched from `gsu-serve /trace?id=`) and prints
+//! folded flamegraph stacks plus a per-span self-time table; see
+//! [`gsu_bench::profile`].
 
 #![forbid(unsafe_code)]
 
@@ -18,13 +24,15 @@ use std::process::ExitCode;
 use gsu_bench::regress::{RegressConfig, DEFAULT_THRESHOLD};
 
 const USAGE: &str = "usage: gsu-bench regress [--baseline PATH] [--current PATH] \
-                     [--threshold FRACTION] [--no-update] [--allow-missing]";
+                     [--threshold FRACTION] [--no-update] [--allow-missing]\n  \
+                     | gsu-bench profile --trace PATH [--folded | --table]";
 
 fn main() -> ExitCode {
     telemetry::init_log_from_env("GSU_LOG");
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("regress") => regress(args),
+        Some("profile") => profile(args),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -34,6 +42,52 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn profile(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut folded = true;
+    let mut table = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(path) => trace = Some(path.into()),
+                None => return usage("--trace needs a path"),
+            },
+            "--folded" => table = false,
+            "--table" => folded = false,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(trace) = trace else {
+        return usage("profile needs --trace PATH");
+    };
+    let doc = match std::fs::read_to_string(&trace) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("gsu-bench profile: cannot read {}: {e}", trace.display());
+            return ExitCode::from(2);
+        }
+    };
+    let events = gsu_bench::profile::parse_chrome_trace(&doc);
+    if events.is_empty() {
+        eprintln!(
+            "gsu-bench profile: no span events with trace/span ids in {}",
+            trace.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let profile = gsu_bench::profile::build_profile(&events);
+    if folded {
+        print!("{}", profile.folded());
+    }
+    if table {
+        if folded {
+            println!();
+        }
+        print!("{}", profile.self_time_table());
+    }
+    ExitCode::SUCCESS
 }
 
 fn regress(mut args: impl Iterator<Item = String>) -> ExitCode {

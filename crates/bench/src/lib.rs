@@ -14,6 +14,7 @@ use std::path::Path;
 
 use performability::{GsuAnalysis, PerfError, SweepPoint};
 
+pub mod profile;
 pub mod regress;
 
 /// A labelled `Y(φ)` curve.
@@ -102,20 +103,30 @@ pub struct BenchRecord {
     pub threads: usize,
     /// φ grid intervals the run swept.
     pub grid: usize,
+    /// Solver iterations the run performed (deterministic work metric:
+    /// sweep/uniformization steps plus expm squarings; see
+    /// [`telemetry::work`]). `0` in logs predating the work counters.
+    pub iterations: u64,
+    /// Sparse matrix-vector products the run performed. `0` in old logs.
+    pub spmv_ops: u64,
 }
 
-/// Wall-clock guard for an experiment binary.
+/// Wall-clock and work guard for an experiment binary.
 ///
-/// Construct at the top of `main`; on drop it measures the elapsed time and
-/// merges a [`BenchRecord`] into `<out_dir>/BENCH_sweep.json`, keyed on
-/// `(name, threads)` so repeated runs update in place and serial/parallel
-/// numbers for the same experiment sit side by side.
+/// Construct at the top of `main`; on drop it measures the elapsed time plus
+/// the [`telemetry::work`] counter deltas and merges a [`BenchRecord`] into
+/// `<out_dir>/BENCH_sweep.json`, keyed on `(name, threads)` so repeated runs
+/// update in place and serial/parallel numbers for the same experiment sit
+/// side by side. The work deltas are deterministic (same totals regardless
+/// of machine or pool width), which is what makes `gsu-bench regress` able
+/// to ratchet on them without wall-clock noise.
 #[derive(Debug)]
 pub struct BenchTimer {
     name: String,
     grid: usize,
     path: std::path::PathBuf,
     start: std::time::Instant,
+    work_start: telemetry::work::WorkSnapshot,
 }
 
 impl BenchTimer {
@@ -127,17 +138,21 @@ impl BenchTimer {
             grid,
             path: out_dir.join("BENCH_sweep.json"),
             start: std::time::Instant::now(),
+            work_start: telemetry::work::snapshot(),
         }
     }
 }
 
 impl Drop for BenchTimer {
     fn drop(&mut self) {
+        let work = telemetry::work::snapshot().delta_since(&self.work_start);
         let record = BenchRecord {
             name: self.name.clone(),
             wall_ms: self.start.elapsed().as_secs_f64() * 1e3,
             threads: pool::configured_threads(),
             grid: self.grid,
+            iterations: work.solver_iterations,
+            spmv_ops: work.spmv_ops,
         };
         if let Err(e) = merge_bench_record(&self.path, record) {
             eprintln!("bench: failed to update {}: {e}", self.path.display());
@@ -191,8 +206,9 @@ pub fn write_bench_records(path: &Path, records: &[BenchRecord]) -> std::io::Res
         let comma = if i + 1 < records.len() { "," } else { "" };
         let _ = writeln!(
             body,
-            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"threads\": {}, \"grid\": {}}}{comma}",
-            r.name, r.wall_ms, r.threads, r.grid
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"threads\": {}, \"grid\": {}, \
+             \"iterations\": {}, \"spmv_ops\": {}}}{comma}",
+            r.name, r.wall_ms, r.threads, r.grid, r.iterations, r.spmv_ops
         );
     }
     body.push_str("]\n");
@@ -210,6 +226,14 @@ fn parse_bench_records(text: &str) -> Vec<BenchRecord> {
         let wall_ms = json_field(body, "wall_ms").and_then(|v| v.parse().ok());
         let threads = json_field(body, "threads").and_then(|v| v.parse().ok());
         let grid = json_field(body, "grid").and_then(|v| v.parse().ok());
+        // Work metrics default to 0 so logs from before the counters existed
+        // keep parsing (the regress gate treats 0 as "seed, don't compare").
+        let iterations = json_field(body, "iterations")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let spmv_ops = json_field(body, "spmv_ops")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         if let (Some(name), Some(wall_ms), Some(threads), Some(grid)) =
             (name, wall_ms, threads, grid)
         {
@@ -218,6 +242,8 @@ fn parse_bench_records(text: &str) -> Vec<BenchRecord> {
                 wall_ms,
                 threads,
                 grid,
+                iterations,
+                spmv_ops,
             });
         }
     }
@@ -545,6 +571,8 @@ mod tests {
             wall_ms,
             threads,
             grid: 10,
+            iterations: 128,
+            spmv_ops: 640,
         };
         merge_bench_record(&path, rec("fig9", 250.0, 1)).unwrap();
         merge_bench_record(&path, rec("fig9", 80.0, 4)).unwrap();
@@ -560,11 +588,23 @@ mod tests {
                 name: "fig9".into(),
                 wall_ms: 245.125,
                 threads: 1,
-                grid: 10
+                grid: 10,
+                iterations: 128,
+                spmv_ops: 640,
             }
         );
         assert_eq!(records[2].threads, 4);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn logs_without_work_metrics_parse_with_zeroes() {
+        let old = "[\n  {\"name\": \"fig9\", \"wall_ms\": 100.000, \
+                   \"threads\": 1, \"grid\": 10}\n]\n";
+        let records = parse_bench_records(old);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].iterations, 0);
+        assert_eq!(records[0].spmv_ops, 0);
     }
 
     #[test]

@@ -59,8 +59,33 @@ pub struct Comparison {
     pub current_ms: f64,
     /// `current / baseline` — `> 1 + threshold` means regression.
     pub ratio: f64,
-    /// Whether this pair breaches the threshold.
+    /// Whether wall time breaches the threshold.
     pub regressed: bool,
+    /// Baseline solver iterations (0 = predates work counters, not compared).
+    pub baseline_iterations: u64,
+    /// Current solver iterations.
+    pub current_iterations: u64,
+    /// Baseline SpMV count (0 = predates work counters, not compared).
+    pub baseline_spmv_ops: u64,
+    /// Current SpMV count.
+    pub current_spmv_ops: u64,
+    /// Whether a work metric breaches the threshold. Work counters are
+    /// deterministic, so unlike wall time this cannot be scheduler noise:
+    /// the algorithm itself started doing more work.
+    pub work_regressed: bool,
+}
+
+impl Comparison {
+    /// `true` when either the wall time or a work metric regressed.
+    pub fn failed(&self) -> bool {
+        self.regressed || self.work_regressed
+    }
+}
+
+/// Work-metric breach test: a zero baseline means the metric predates the
+/// counters — seed it on the next ratchet instead of comparing.
+fn work_breach(baseline: u64, current: u64, threshold: f64) -> bool {
+    baseline > 0 && current as f64 > baseline as f64 * (1.0 + threshold)
 }
 
 /// The outcome of a gate run.
@@ -85,7 +110,7 @@ impl RegressReport {
     /// `true` when no compared pair regressed and no baseline entry went
     /// missing (unless missing entries were explicitly allowed).
     pub fn passed(&self) -> bool {
-        self.compared.iter().all(|c| !c.regressed) && (self.allow_missing || self.stale.is_empty())
+        self.compared.iter().all(|c| !c.failed()) && (self.allow_missing || self.stale.is_empty())
     }
 
     /// Human-readable gate summary (one line per pair).
@@ -106,6 +131,32 @@ impl RegressReport {
                 (c.ratio - 1.0) * 100.0,
                 verdict
             );
+            if c.baseline_iterations > 0 || c.current_iterations > 0 {
+                let verdict =
+                    if work_breach(c.baseline_iterations, c.current_iterations, self.threshold) {
+                        "WORK REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                let _ = writeln!(
+                    out,
+                    "regress: {:<22} threads={} {:>9} vs {:>9} baseline iterations {}",
+                    c.name, c.threads, c.current_iterations, c.baseline_iterations, verdict
+                );
+            }
+            if c.baseline_spmv_ops > 0 || c.current_spmv_ops > 0 {
+                let verdict =
+                    if work_breach(c.baseline_spmv_ops, c.current_spmv_ops, self.threshold) {
+                        "WORK REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                let _ = writeln!(
+                    out,
+                    "regress: {:<22} threads={} {:>9} vs {:>9} baseline spmv_ops {}",
+                    c.name, c.threads, c.current_spmv_ops, c.baseline_spmv_ops, verdict
+                );
+            }
         }
         for r in &self.added {
             let _ = writeln!(
@@ -162,6 +213,12 @@ pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord], threshold: f64
                     current_ms: cur.wall_ms,
                     ratio,
                     regressed: cur.wall_ms > base.wall_ms * (1.0 + threshold),
+                    baseline_iterations: base.iterations,
+                    current_iterations: cur.iterations,
+                    baseline_spmv_ops: base.spmv_ops,
+                    current_spmv_ops: cur.spmv_ops,
+                    work_regressed: work_breach(base.iterations, cur.iterations, threshold)
+                        || work_breach(base.spmv_ops, cur.spmv_ops, threshold),
                 });
             }
             None => added.push(cur.clone()),
@@ -238,6 +295,19 @@ mod tests {
             wall_ms,
             threads,
             grid: 10,
+            iterations: 0,
+            spmv_ops: 0,
+        }
+    }
+
+    fn rec_work(name: &str, wall_ms: f64, iterations: u64, spmv_ops: u64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            wall_ms,
+            threads: 1,
+            grid: 10,
+            iterations,
+            spmv_ops,
         }
     }
 
@@ -271,6 +341,55 @@ mod tests {
         assert!(report.passed());
         assert_eq!(report.added.len(), 1);
         assert_eq!(report.added[0].name, "fig10");
+    }
+
+    #[test]
+    fn work_inflation_fails_even_with_unchanged_wall() {
+        // The ISSUE-9 acceptance scenario: fig9 suddenly does 25% more
+        // solver iterations but the wall clock (noisy, or masked by a faster
+        // machine) is identical. The deterministic work metric must fail the
+        // gate on its own.
+        let report = compare(
+            &[rec_work("fig9", 100.0, 1000, 5000)],
+            &[rec_work("fig9", 100.0, 1250, 5000)],
+            DEFAULT_THRESHOLD,
+        );
+        assert!(!report.passed());
+        assert!(report.compared[0].work_regressed);
+        assert!(!report.compared[0].regressed, "wall did not regress");
+        let rendered = report.render();
+        assert!(rendered.contains("WORK REGRESSED"), "{rendered}");
+        assert!(rendered.contains("FAIL"), "{rendered}");
+
+        // SpMV inflation alone fails too.
+        let report = compare(
+            &[rec_work("fig9", 100.0, 1000, 5000)],
+            &[rec_work("fig9", 100.0, 1000, 6000)],
+            DEFAULT_THRESHOLD,
+        );
+        assert!(!report.passed());
+
+        // Within threshold (and work ratcheting down) passes.
+        let report = compare(
+            &[rec_work("fig9", 100.0, 1000, 5000)],
+            &[rec_work("fig9", 100.0, 1050, 4000)],
+            DEFAULT_THRESHOLD,
+        );
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn zero_work_baseline_seeds_instead_of_comparing() {
+        // A baseline written before the work counters existed has zeroes:
+        // the first instrumented run must pass (and, with update on, ratchet
+        // the real numbers in) rather than dividing by zero or failing.
+        let report = compare(
+            &[rec("fig9", 100.0, 1)],
+            &[rec_work("fig9", 100.0, 1250, 5000)],
+            DEFAULT_THRESHOLD,
+        );
+        assert!(report.passed());
+        assert!(!report.compared[0].work_regressed);
     }
 
     #[test]

@@ -71,6 +71,16 @@ pub fn expm(a: &DenseMatrix) -> Result<DenseMatrix> {
     } else {
         0
     };
+    // Each squaring doubles the covered horizon, so `s` plays the role an
+    // iteration count plays for the sweep solvers: it is the deterministic
+    // work knob of the method, and feeds the same flight-recorder and
+    // work-ratchet channels.
+    telemetry::work::count_expm(1);
+    telemetry::work::count_iterations(s as u64);
+    let mut span = telemetry::span("markov.solve.expm");
+    let mut flight = telemetry::SolveDiag::new("expm");
+    flight.iterations = s as u64;
+    flight.record_on(&mut span);
     let mut scaled = a.clone();
     scaled.scale(0.5f64.powi(s as i32));
 

@@ -135,6 +135,8 @@ fn record_steady_solve(method: &str, iterations: usize, final_delta: f64, tolera
 }
 
 fn direct(ctmc: &Ctmc) -> Result<Vec<f64>> {
+    let mut span = telemetry::span("markov.solve.steady");
+    telemetry::SolveDiag::new("direct").record_on(&mut span);
     record_steady_solve("direct", 0, 0.0, 0.0);
     let n = ctmc.n_states();
     // Solve Qᵀ x = 0 with the last equation replaced by Σx = 1.
@@ -164,6 +166,13 @@ fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
             context: format!("SOR relaxation factor {omega} outside (0, 2)"),
         }));
     }
+    let method = if sparsela::vector::approx_eq(omega, 1.0, 0.0) {
+        "gauss_seidel"
+    } else {
+        "sor"
+    };
+    let mut span = telemetry::span("markov.solve.steady");
+    let mut flight = telemetry::SolveDiag::new(method);
     let mut pi = vec![1.0 / n as f64; n];
     let mut delta = f64::INFINITY;
     for it in 1..=options.max_iterations {
@@ -186,17 +195,21 @@ fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
             pi[j] = new;
         }
         vector::normalize_l1(&mut pi);
+        if telemetry::enabled() {
+            flight.push_residual(delta);
+        }
         if delta <= options.tolerance && it > 1 {
+            telemetry::work::count_iterations(it as u64);
             cleanup(&mut pi);
-            let method = if sparsela::vector::approx_eq(omega, 1.0, 0.0) {
-                "gauss_seidel"
-            } else {
-                "sor"
-            };
+            flight.iterations = it as u64;
+            flight.record_on(&mut span);
             record_steady_solve(method, it, delta, options.tolerance);
             return Ok(pi);
         }
     }
+    telemetry::work::count_iterations(options.max_iterations as u64);
+    flight.iterations = options.max_iterations as u64;
+    flight.record_on(&mut span);
     telemetry::counter("solver.not_converged", 1);
     Err(MarkovError::LinAlg(sparsela::LinAlgError::NotConverged {
         iterations: options.max_iterations,
@@ -211,6 +224,9 @@ fn power(ctmc: &Ctmc, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>>
     // uniformized chain aperiodic.
     let lambda = ctmc.max_exit_rate() * 1.05;
     let p = ctmc.uniformized(lambda)?;
+    let mut span = telemetry::span("markov.solve.steady");
+    let mut flight = telemetry::SolveDiag::new("power");
+    flight.uniformization_rate = Some(lambda);
     let mut pi = vec![1.0 / n as f64; n];
     let mut next = vec![0.0; n];
     let mut delta = f64::INFINITY;
@@ -218,13 +234,24 @@ fn power(ctmc: &Ctmc, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>>
         p.step_into(&pi, &mut next);
         delta = vector::diff_norm_inf(&pi, &next);
         std::mem::swap(&mut pi, &mut next);
+        if telemetry::enabled() {
+            flight.push_residual(delta);
+        }
         if delta <= tolerance {
+            telemetry::work::count_iterations(it as u64);
             vector::normalize_l1(&mut pi);
             cleanup(&mut pi);
+            flight.iterations = it as u64;
+            flight.spmv_ops = it as u64;
+            flight.record_on(&mut span);
             record_steady_solve("power", it, delta, tolerance);
             return Ok(pi);
         }
     }
+    telemetry::work::count_iterations(max_iterations as u64);
+    flight.iterations = max_iterations as u64;
+    flight.spmv_ops = max_iterations as u64;
+    flight.record_on(&mut span);
     telemetry::counter("solver.not_converged", 1);
     Err(MarkovError::LinAlg(sparsela::LinAlgError::NotConverged {
         iterations: max_iterations,

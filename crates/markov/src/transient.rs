@@ -251,14 +251,20 @@ fn batch_uniformized(
     let Some(k_max) = windows.iter().flatten().map(|w| w.right).max() else {
         return Ok(times.iter().map(|_| pi0.to_vec()).collect());
     };
+    let mut span = telemetry::span("markov.solve.uniformization");
+    let mut flight = telemetry::SolveDiag::new("uniformization");
+    flight.uniformization_rate = Some(lambda);
     if let Some(widest) = windows.iter().flatten().last() {
         record_uniformization(lambda, widest);
+        flight.fox_glynn_window = Some((widest.left as u64, widest.right as u64));
     }
 
     let n = ctmc.n_states();
     let mut out: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
     let mut cur = pi0.to_vec();
     let mut next = vec![0.0; n];
+    let mut steps = 0u64;
+    let mut axpys = 0u64;
 
     let sse_tol = opts.epsilon.max(1e-15);
     'power: for k in 0..=k_max {
@@ -266,28 +272,38 @@ fn batch_uniformized(
             if let Some(w) = window {
                 if k >= w.left && k <= w.right {
                     vector::axpy(w.weight(k), &cur, acc);
+                    axpys += 1;
                 }
             }
         }
         if k < k_max {
             p.step_into(&cur, &mut next);
-            if opts.steady_state_detection && vector::diff_norm_inf(&cur, &next) < sse_tol {
-                // The DTMC has converged: every window's remaining mass sees
-                // the same vector.
-                for (acc, window) in out.iter_mut().zip(&windows) {
-                    if let Some(w) = window {
-                        let remaining: f64 =
-                            ((k + 1).max(w.left)..=w.right).map(|j| w.weight(j)).sum();
-                        if remaining > 0.0 {
-                            vector::axpy(remaining, &next, acc);
+            steps += 1;
+            if opts.steady_state_detection {
+                let diff = vector::diff_norm_inf(&cur, &next);
+                if telemetry::enabled() {
+                    flight.push_residual(diff);
+                }
+                if diff < sse_tol {
+                    // The DTMC has converged: every window's remaining mass
+                    // sees the same vector.
+                    for (acc, window) in out.iter_mut().zip(&windows) {
+                        if let Some(w) = window {
+                            let remaining: f64 =
+                                ((k + 1).max(w.left)..=w.right).map(|j| w.weight(j)).sum();
+                            if remaining > 0.0 {
+                                vector::axpy(remaining, &next, acc);
+                                axpys += 1;
+                            }
                         }
                     }
+                    break 'power;
                 }
-                break 'power;
             }
             std::mem::swap(&mut cur, &mut next);
         }
     }
+    finish_uniformized(&mut flight, &mut span, steps, axpys);
     for (acc, window) in out.iter_mut().zip(&windows) {
         match window {
             None => acc.copy_from_slice(pi0),
@@ -445,38 +461,70 @@ fn record_uniformization(lambda: f64, window: &PoissonWindow) {
     telemetry::counter("solver.iterations", (window.right + 1) as u64);
 }
 
+/// Closes a uniformization flight record: tallies the executed steps into
+/// the global work counters and attaches the diagnostics to the solve span.
+fn finish_uniformized(
+    flight: &mut telemetry::SolveDiag,
+    span: &mut telemetry::SpanGuard,
+    steps: u64,
+    axpys: u64,
+) {
+    telemetry::work::count_iterations(steps);
+    flight.iterations = steps;
+    flight.spmv_ops = steps;
+    flight.axpy_ops = axpys;
+    flight.record_on(span);
+}
+
 fn uniformized_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec<f64>> {
     let lambda = uniformization_rate(ctmc);
     let p = ctmc.uniformized(lambda)?;
     let window = PoissonWindow::compute(lambda * t, opts.epsilon)?;
     record_uniformization(lambda, &window);
+    let mut span = telemetry::span("markov.solve.uniformization");
+    let mut flight = telemetry::SolveDiag::new("uniformization");
+    flight.uniformization_rate = Some(lambda);
+    flight.fox_glynn_window = Some((window.left as u64, window.right as u64));
 
     let n = ctmc.n_states();
     let mut cur = pi0.to_vec();
     let mut next = vec![0.0; n];
     let mut out = vec![0.0; n];
+    let mut steps = 0u64;
+    let mut axpys = 0u64;
 
     let sse_tol = opts.epsilon.max(1e-15);
     for k in 0..=window.right {
         if k >= window.left {
             vector::axpy(window.weight(k), &cur, &mut out);
+            axpys += 1;
         }
         if k < window.right {
             p.step_into(&cur, &mut next);
-            if opts.steady_state_detection && vector::diff_norm_inf(&cur, &next) < sse_tol {
-                // The DTMC has converged: all remaining Poisson mass sees the
-                // same vector.
-                let remaining: f64 = ((k + 1).max(window.left)..=window.right)
-                    .map(|j| window.weight(j))
-                    .sum();
-                vector::axpy(remaining, &next, &mut out);
-                vector::normalize_l1(&mut out);
-                return Ok(out);
+            steps += 1;
+            if opts.steady_state_detection {
+                let diff = vector::diff_norm_inf(&cur, &next);
+                if telemetry::enabled() {
+                    flight.push_residual(diff);
+                }
+                if diff < sse_tol {
+                    // The DTMC has converged: all remaining Poisson mass sees
+                    // the same vector.
+                    let remaining: f64 = ((k + 1).max(window.left)..=window.right)
+                        .map(|j| window.weight(j))
+                        .sum();
+                    vector::axpy(remaining, &next, &mut out);
+                    axpys += 1;
+                    vector::normalize_l1(&mut out);
+                    finish_uniformized(&mut flight, &mut span, steps, axpys);
+                    return Ok(out);
+                }
             }
             std::mem::swap(&mut cur, &mut next);
         }
     }
     vector::normalize_l1(&mut out);
+    finish_uniformized(&mut flight, &mut span, steps, axpys);
     Ok(out)
 }
 
@@ -486,12 +534,18 @@ fn uniformized_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Re
     let p = ctmc.uniformized(lambda)?;
     let window = PoissonWindow::compute(lambda * t, opts.epsilon)?;
     record_uniformization(lambda, &window);
+    let mut span = telemetry::span("markov.solve.uniformization");
+    let mut flight = telemetry::SolveDiag::new("uniformization");
+    flight.uniformization_rate = Some(lambda);
+    flight.fox_glynn_window = Some((window.left as u64, window.right as u64));
     let tails = window.right_tails();
 
     let n = ctmc.n_states();
     let mut cur = pi0.to_vec();
     let mut next = vec![0.0; n];
     let mut acc = vec![0.0; n];
+    let mut steps = 0u64;
+    let mut axpys = 0u64;
 
     let sse_tol = opts.epsilon.max(1e-15);
     for k in 0..=window.right {
@@ -503,28 +557,39 @@ fn uniformized_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Re
         };
         if tail > 0.0 {
             vector::axpy(tail, &cur, &mut acc);
+            axpys += 1;
         }
         if k < window.right {
             p.step_into(&cur, &mut next);
-            if opts.steady_state_detection && vector::diff_norm_inf(&cur, &next) < sse_tol {
-                // Remaining contributions all use (approximately) the same
-                // vector: Σ_{j>k} P[N > j] = E[(N − k − 1)⁺].
-                let mut remaining = 0.0;
-                for j in (k + 1)..=window.right {
-                    remaining += if j < window.left {
-                        1.0
-                    } else {
-                        tails[j - window.left]
-                    };
+            steps += 1;
+            if opts.steady_state_detection {
+                let diff = vector::diff_norm_inf(&cur, &next);
+                if telemetry::enabled() {
+                    flight.push_residual(diff);
                 }
-                vector::axpy(remaining, &next, &mut acc);
-                vector::scale(1.0 / lambda, &mut acc);
-                return Ok(acc);
+                if diff < sse_tol {
+                    // Remaining contributions all use (approximately) the same
+                    // vector: Σ_{j>k} P[N > j] = E[(N − k − 1)⁺].
+                    let mut remaining = 0.0;
+                    for j in (k + 1)..=window.right {
+                        remaining += if j < window.left {
+                            1.0
+                        } else {
+                            tails[j - window.left]
+                        };
+                    }
+                    vector::axpy(remaining, &next, &mut acc);
+                    axpys += 1;
+                    vector::scale(1.0 / lambda, &mut acc);
+                    finish_uniformized(&mut flight, &mut span, steps, axpys);
+                    return Ok(acc);
+                }
             }
             std::mem::swap(&mut cur, &mut next);
         }
     }
     vector::scale(1.0 / lambda, &mut acc);
+    finish_uniformized(&mut flight, &mut span, steps, axpys);
     Ok(acc)
 }
 

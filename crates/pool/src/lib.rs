@@ -248,8 +248,17 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     /// Tasks may borrow anything that outlives the [`Pool::scope`] call.
     /// Spawn order is preserved per deque (FIFO for owners), which makes the
     /// 1-thread pool execute tasks exactly in spawn order.
+    ///
+    /// The spawning thread's [`telemetry::TraceContext`] is captured here
+    /// and re-attached around the task, so spans a task emits parent under
+    /// the span that submitted the work — the trace tree survives the hop
+    /// onto a worker thread.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
-        self.shared.spawn(Box::new(task));
+        let ctx = telemetry::TraceContext::current();
+        self.shared.spawn(Box::new(move || {
+            let _ctx = ctx.attach();
+            task()
+        }));
     }
 }
 
@@ -470,6 +479,32 @@ mod tests {
         assert_eq!(configured_threads(), default_threads());
         std::env::remove_var(THREADS_ENV);
         assert_eq!(configured_threads(), default_threads());
+    }
+
+    #[test]
+    fn spawned_tasks_inherit_the_submitting_trace() {
+        let collector = telemetry::Collector::install();
+        let submit_ctx = {
+            let span = telemetry::span("submit.sweep");
+            let ctx = span.context().expect("live span");
+            Pool::new(4).scope(|scope| {
+                for i in 0..8 {
+                    scope.spawn(move || {
+                        let mut s = telemetry::span("sweep.point");
+                        s.record("i", i as u64);
+                    });
+                }
+            });
+            ctx
+        };
+        telemetry::clear_sink();
+        let spans = collector.spans();
+        let points: Vec<_> = spans.iter().filter(|s| s.name == "sweep.point").collect();
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert_eq!(p.trace_id, submit_ctx.trace_id);
+            assert_eq!(p.parent_id, submit_ctx.span_id);
+        }
     }
 
     #[test]

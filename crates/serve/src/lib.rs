@@ -5,18 +5,26 @@
 //! connection handlers run on workers from [`pool`] (the same work-stealing
 //! pool the φ-sweeps use). Endpoints:
 //!
-//! | route             | body                                                        |
-//! |-------------------|-------------------------------------------------------------|
-//! | `GET /metrics`    | Prometheus text exposition of the live [`telemetry::Collector`] |
-//! | `GET /healthz`    | liveness (`200 ok` whenever the accept loop is up)          |
-//! | `GET /readyz`     | readiness (`200` once the `GsuAnalysis` is built)           |
-//! | `GET /trace`      | the Chrome `trace_event` document collected so far          |
-//! | `GET /eval?phi=…` | a span-instrumented `Y(φ)` evaluation, as JSON              |
-//! | `GET /`           | a plain-text endpoint index                                 |
+//! | route               | body                                                        |
+//! |---------------------|-------------------------------------------------------------|
+//! | `GET /metrics`      | Prometheus text exposition of the live [`telemetry::Collector`] |
+//! | `GET /healthz`      | liveness (`200 ok` whenever the accept loop is up)          |
+//! | `GET /readyz`       | readiness (`200` once the `GsuAnalysis` is built)           |
+//! | `GET /trace`        | the Chrome `trace_event` document collected so far          |
+//! | `GET /trace?id=…`   | the same document restricted to one request's span tree     |
+//! | `GET /eval?phi=…`   | a span-instrumented `Y(φ)` evaluation, as JSON              |
+//! | `GET /requests`     | recent `/eval` wide-event lines (JSONL, newest last)        |
+//! | `GET /version`      | build identity (crate version, git hash, profile)           |
+//! | `GET /`             | a plain-text endpoint index                                 |
 //!
 //! `/eval` makes the analysis itself a servable workload: every request runs
-//! a real `GsuAnalysis::evaluate` under a `serve.eval` span, so traffic
-//! shows up in `/metrics` and `/trace` like any other pipeline work.
+//! a real `GsuAnalysis::evaluate` under a `serve.eval` span **inside a fresh
+//! trace context**, so traffic shows up in `/metrics` and `/trace` like any
+//! other pipeline work — and every response carries its `trace_id`, which
+//! `/trace?id=` resolves to exactly that request's span tree. Each `/eval`
+//! additionally appends one canonical wide-event line (φ, parameter
+//! fingerprint, per-phase wall breakdown, solver flight-recorder diags,
+//! status) to a bounded in-memory ring served by `/requests`.
 //!
 //! Dependency policy: pure `std` + in-workspace crates, hand-rolled
 //! HTTP/1.1, no TLS (see DESIGN.md, "Dependency policy").
@@ -26,21 +34,24 @@
 
 pub mod http;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use performability::{GsuAnalysis, GsuParams, SweepPoint};
-use telemetry::{ArgValue, Collector, Level};
+use telemetry::{ArgValue, Collector, FinishedSpan, Level, TraceContext};
 
 use http::{fmt_f64, json_escape, Request, Response};
 
 /// Default number of connection-handling pool workers.
 pub const DEFAULT_WORKERS: usize = 4;
+
+/// How many `/eval` wide-event lines the in-memory ring retains.
+pub const REQUEST_LOG_CAP: usize = 256;
 
 struct ServerState {
     analysis: GsuAnalysis,
@@ -49,6 +60,12 @@ struct ServerState {
     ready: AtomicBool,
     shutdown: AtomicBool,
     lint_findings: PathBuf,
+    /// Hex fingerprint of the served [`GsuParams`], stamped into every
+    /// wide-event line so a log mixes runs against different parameter
+    /// assignments detectably.
+    params_fingerprint: String,
+    /// Bounded ring of canonical `/eval` wide-event JSONL lines.
+    requests: Mutex<VecDeque<String>>,
 }
 
 /// Default location of the findings file `gsu-lint --emit-telemetry`
@@ -81,7 +98,8 @@ impl Server {
     pub fn bind(addr: &str, collector: Arc<Collector>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let analysis = GsuAnalysis::new(GsuParams::paper_baseline())
+        let params = GsuParams::paper_baseline();
+        let analysis = GsuAnalysis::new(params)
             .map_err(|e| std::io::Error::other(format!("building GsuAnalysis: {e}")))?;
         let state = Arc::new(ServerState {
             analysis,
@@ -90,6 +108,8 @@ impl Server {
             ready: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             lint_findings: PathBuf::from(LINT_FINDINGS_PATH),
+            params_fingerprint: params_fingerprint(&params),
+            requests: Mutex::new(VecDeque::with_capacity(REQUEST_LOG_CAP)),
         });
         Ok(Server {
             listener,
@@ -184,6 +204,12 @@ impl ServerHandle {
 
 fn handle_connection(state: &ServerState, mut stream: TcpStream) {
     let start = Instant::now();
+    // Every request runs under its own root trace context: spans recorded
+    // while routing (the eval span and the solver spans inside it) share the
+    // request's trace id, and the latency histogram observed below captures
+    // that id as its exemplar.
+    let ctx = TraceContext::new_root();
+    let _attached = ctx.attach();
     let (response, path) = match http::read_request(&mut stream) {
         Ok(request) => {
             let path = request.path.clone();
@@ -198,6 +224,7 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
     let dur_us = start.elapsed().as_micros() as u64;
     telemetry::counter("serve.requests", 1);
     telemetry::counter(&format!("serve.status.{}", response.status), 1);
+    telemetry::counter(&format!("http.responses.{}", response.status), 1);
     telemetry::observe("serve.request_us", dur_us as f64);
     telemetry::log_event(
         Level::Info,
@@ -227,6 +254,7 @@ fn route(state: &ServerState, request: &Request) -> Response {
         "/metrics" => {
             telemetry::gauge("serve.uptime_s", state.start.elapsed().as_secs_f64());
             let mut body = state.collector.snapshot().prometheus_text();
+            body.push_str(&build_info_exposition());
             body.push_str(&lint_exposition(&state.lint_findings));
             Response {
                 status: 200,
@@ -234,43 +262,249 @@ fn route(state: &ServerState, request: &Request) -> Response {
                 body,
             }
         }
-        "/trace" => Response::json(200, state.collector.chrome_trace_json()),
+        "/trace" => match request.query_value("id") {
+            None => Response::json(200, state.collector.chrome_trace_json()),
+            Some(raw) => match telemetry::parse_trace_id(raw) {
+                Some(id) => Response::json(200, state.collector.chrome_trace_json_for(id)),
+                None => Response::json(
+                    400,
+                    format!(
+                        "{{\"error\":\"unparsable trace id: {}\",\"param\":\"id\"}}",
+                        json_escape(raw)
+                    ),
+                ),
+            },
+        },
         "/eval" => eval(state, request),
+        "/requests" => {
+            let ring = state.requests.lock().unwrap_or_else(|e| e.into_inner());
+            let mut body = String::new();
+            for line in ring.iter() {
+                body.push_str(line);
+                body.push('\n');
+            }
+            Response {
+                status: 200,
+                content_type: "application/x-ndjson",
+                body,
+            }
+        }
+        "/version" => Response::json(200, version_json()),
         "/" => Response::text(
             200,
             "gsu-serve: guarded-operation performability observability daemon\n\
              GET /metrics    Prometheus exposition of the live collector\n\
              GET /healthz    liveness\n\
              GET /readyz     readiness\n\
-             GET /trace      Chrome trace_event JSON\n\
-             GET /eval?phi=N evaluate the performability index Y(phi)\n",
+             GET /trace      Chrome trace_event JSON (?id=HEX for one request)\n\
+             GET /eval?phi=N evaluate the performability index Y(phi)\n\
+             GET /requests   recent /eval wide-event lines (JSONL)\n\
+             GET /version    build identity\n",
         ),
         _ => Response::text(404, "no such route\n"),
     }
 }
 
 fn eval(state: &ServerState, request: &Request) -> Response {
+    let started = Instant::now();
+    let trace_id = TraceContext::current().trace_id;
+    let fail = |phi: Option<f64>, msg: &str| -> Response {
+        record_wide_event(
+            state,
+            trace_id,
+            phi,
+            400,
+            None,
+            started.elapsed(),
+            Some(msg),
+        );
+        Response::json(
+            400,
+            format!("{{\"error\":\"{}\",\"param\":\"phi\"}}", json_escape(msg)),
+        )
+    };
     let Some(raw) = request.query_value("phi") else {
-        return Response::json(400, "{\"error\":\"missing query parameter phi\"}");
+        return fail(None, "missing query parameter phi");
     };
     let Ok(phi) = raw.parse::<f64>() else {
-        return Response::json(
-            400,
-            format!("{{\"error\":\"unparsable phi: {}\"}}", json_escape(raw)),
-        );
+        return fail(None, &format!("unparsable phi: {raw}"));
     };
-    let mut span = telemetry::span("serve.eval");
-    span.record("phi", phi);
-    match state.analysis.evaluate(phi) {
-        Ok(point) => {
-            span.record("y", point.y);
-            Response::json(200, sweep_point_json(&point))
-        }
-        Err(e) => Response::json(
-            400,
-            format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string())),
-        ),
+    if !phi.is_finite() || phi < 0.0 {
+        return fail(Some(phi), &format!("phi out of domain: {phi}"));
     }
+    // The eval span (and every solver span nested inside it) must be dropped
+    // — hence recorded — before the wide event reconstructs the request's
+    // span tree from the collector.
+    let result = {
+        let mut span = telemetry::span("serve.eval");
+        span.record("phi", phi);
+        let result = state.analysis.evaluate(phi);
+        if let Ok(point) = &result {
+            span.record("y", point.y);
+        }
+        result
+    };
+    match result {
+        Ok(point) => {
+            record_wide_event(
+                state,
+                trace_id,
+                Some(phi),
+                200,
+                Some(point.y),
+                started.elapsed(),
+                None,
+            );
+            let body = format!(
+                "{{\"trace_id\":\"{}\",{}",
+                telemetry::format_trace_id(trace_id),
+                &sweep_point_json(&point)[1..]
+            );
+            Response::json(200, body)
+        }
+        Err(e) => fail(Some(phi), &e.to_string()),
+    }
+}
+
+/// Builds the canonical wide-event line for one `/eval` request — trace id,
+/// parameter fingerprint, outcome, per-phase wall breakdown, and the
+/// flight-recorder diagnostics of every solve the request ran — and appends
+/// it to the bounded `/requests` ring.
+fn record_wide_event(
+    state: &ServerState,
+    trace_id: u64,
+    phi: Option<f64>,
+    status: u16,
+    y: Option<f64>,
+    wall: std::time::Duration,
+    error: Option<&str>,
+) {
+    let spans = state.collector.trace_spans(trace_id);
+    let mut line = format!(
+        "{{\"schema\":\"gsu-wide-event-v1\",\"trace_id\":\"{}\",\"params\":\"{}\",\
+         \"phi\":{},\"status\":{status},\"wall_us\":{}",
+        telemetry::format_trace_id(trace_id),
+        state.params_fingerprint,
+        phi.map_or_else(|| "null".to_string(), fmt_f64),
+        wall.as_micros()
+    );
+    if let Some(y) = y {
+        let _ = write!(line, ",\"y\":{}", fmt_f64(y));
+    }
+    if let Some(error) = error {
+        let _ = write!(line, ",\"error\":\"{}\"", json_escape(error));
+    }
+    let mut phases: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for s in &spans {
+        let entry = phases.entry(s.name.as_str()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += s.dur_us;
+    }
+    line.push_str(",\"phases\":{");
+    for (i, (name, (count, total_us))) in phases.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(
+            line,
+            "\"{}\":{{\"count\":{count},\"total_us\":{total_us}}}",
+            json_escape(name)
+        );
+    }
+    line.push_str("},\"solves\":[");
+    let mut first = true;
+    for s in &spans {
+        if let Some(solve) = solve_json(s) {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&solve);
+        }
+    }
+    line.push_str("]}");
+
+    let mut ring = state.requests.lock().unwrap_or_else(|e| e.into_inner());
+    if ring.len() == REQUEST_LOG_CAP {
+        ring.pop_front();
+    }
+    ring.push_back(line);
+}
+
+/// Renders one span's `solve.*` flight-recorder args as a JSON object, or
+/// `None` for spans that are not solves.
+fn solve_json(span: &FinishedSpan) -> Option<String> {
+    if !span.args.iter().any(|(k, _)| k == "solve.method") {
+        return None;
+    }
+    let mut out = format!("{{\"span\":\"{}\"", json_escape(&span.name));
+    for (key, value) in &span.args {
+        let Some(field) = key.strip_prefix("solve.") else {
+            continue;
+        };
+        let _ = write!(out, ",\"{}\":", json_escape(field));
+        match value {
+            ArgValue::F64(v) => out.push_str(&fmt_f64(*v)),
+            ArgValue::U64(v) => out.push_str(&v.to_string()),
+            ArgValue::Str(v) => {
+                let _ = write!(out, "\"{}\"", json_escape(v));
+            }
+        }
+    }
+    out.push('}');
+    Some(out)
+}
+
+/// Crate version baked into the binary.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Git hash baked in at build time via the `GSU_GIT_HASH` environment
+/// variable (`scripts/check.sh` exports it); `"unknown"` otherwise.
+pub fn git_hash() -> &'static str {
+    option_env!("GSU_GIT_HASH").unwrap_or("unknown")
+}
+
+fn profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// The `gsu_build_info` exposition block: a constant-1 gauge whose labels
+/// carry the build identity, the conventional Prometheus idiom for joining
+/// metrics against versions.
+pub fn build_info_exposition() -> String {
+    format!(
+        "# HELP gsu_build_info Build identity of the serving binary (value is always 1).\n\
+         # TYPE gsu_build_info gauge\n\
+         gsu_build_info{{version=\"{VERSION}\",git=\"{}\",profile=\"{}\"}} 1\n",
+        git_hash(),
+        profile()
+    )
+}
+
+/// The `/version` response document.
+pub fn version_json() -> String {
+    format!(
+        "{{\"name\":\"gsu-serve\",\"version\":\"{VERSION}\",\"git\":\"{}\",\"profile\":\"{}\"}}",
+        git_hash(),
+        profile()
+    )
+}
+
+/// FNV-1a fingerprint of a parameter assignment, as 16 hex digits. Stable
+/// across runs of the same build for the same parameters; any field change
+/// changes the fingerprint.
+pub fn params_fingerprint(params: &GsuParams) -> String {
+    let repr = format!("{params:?}");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in repr.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 /// Renders a [`SweepPoint`] as the `/eval` response document.
@@ -418,6 +652,69 @@ mod tests {
         assert!(body.contains("# gsu-lint findings file invalid"), "{body}");
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_info_and_version_carry_identity() {
+        let block = build_info_exposition();
+        assert!(validate_exposition(&block).is_ok(), "{block}");
+        assert!(block.contains(&format!("version=\"{VERSION}\"")), "{block}");
+        assert!(block.contains("profile=\""), "{block}");
+        let json = version_json();
+        assert!(json.contains("\"name\":\"gsu-serve\""), "{json}");
+        assert!(
+            json.contains(&format!("\"version\":\"{VERSION}\"")),
+            "{json}"
+        );
+        assert!(json.contains("\"git\":"), "{json}");
+    }
+
+    #[test]
+    fn params_fingerprint_is_stable_and_sensitive() {
+        let base = GsuParams::paper_baseline();
+        let fp = params_fingerprint(&base);
+        assert_eq!(fp.len(), 16);
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(fp, params_fingerprint(&base));
+        let tweaked = base.with_coverage(0.5).unwrap();
+        assert_ne!(fp, params_fingerprint(&tweaked));
+    }
+
+    #[test]
+    fn solve_json_renders_flight_recorder_args_only() {
+        let now = std::time::Instant::now();
+        let mut span = FinishedSpan {
+            name: "markov.solve.uniformization".to_string(),
+            start_us: 0,
+            dur_us: 10,
+            tid: 1,
+            depth: 2,
+            trace_id: 7,
+            span_id: 3,
+            parent_id: 2,
+            args: vec![
+                (
+                    "solve.method".to_string(),
+                    ArgValue::Str("uniformization".into()),
+                ),
+                ("solve.iterations".to_string(), ArgValue::U64(42)),
+                (
+                    "solve.uniformization_rate".to_string(),
+                    ArgValue::F64(1224.0),
+                ),
+                ("states".to_string(), ArgValue::U64(9)),
+            ],
+        };
+        let _ = now;
+        let json = solve_json(&span).expect("a solve span");
+        assert_eq!(
+            json,
+            "{\"span\":\"markov.solve.uniformization\",\"method\":\"uniformization\",\
+             \"iterations\":42,\"uniformization_rate\":1224}"
+        );
+        // A span without solve.method is not a solve.
+        span.args.retain(|(k, _)| k == "states");
+        assert!(solve_json(&span).is_none());
     }
 
     #[test]

@@ -99,14 +99,16 @@ fn smoke(collector: Arc<Collector>, workers: usize) -> ExitCode {
     let handle = server.handle();
     let serving = std::thread::spawn(move || server.run(workers));
 
-    let mut failures = 0;
-    let mut check = |target: &str, want_status: u16, probe: &dyn Fn(&str) -> Result<(), String>| {
+    // A Cell so both the `check` closure and the trace round-trip below can
+    // bump the count without fighting over a mutable borrow.
+    let failures = std::cell::Cell::new(0u32);
+    let check = |target: &str, want_status: u16, probe: &dyn Fn(&str) -> Result<(), String>| {
         match http_get(addr, target) {
             Ok((status, body)) if status == want_status => match probe(&body) {
                 Ok(()) => println!("smoke: {target} -> {status} ok"),
                 Err(why) => {
                     eprintln!("smoke: {target} -> {status} but body invalid: {why}");
-                    failures += 1;
+                    failures.set(failures.get() + 1);
                 }
             },
             Ok((status, body)) => {
@@ -114,11 +116,11 @@ fn smoke(collector: Arc<Collector>, workers: usize) -> ExitCode {
                     "smoke: {target} -> {status}, want {want_status}; body: {}",
                     body.lines().next().unwrap_or("")
                 );
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
             Err(e) => {
                 eprintln!("smoke: {target} failed: {e}");
-                failures += 1;
+                failures.set(failures.get() + 1);
             }
         }
     };
@@ -130,28 +132,79 @@ fn smoke(collector: Arc<Collector>, workers: usize) -> ExitCode {
     });
     check("/readyz", 200, &|_| Ok(()));
     check("/eval?phi=7000", 200, &|body| {
-        body.contains("\"y\":")
+        (body.contains("\"y\":") && body.contains("\"trace_id\":\""))
             .then_some(())
             .ok_or_else(|| body.to_string())
     });
-    check("/eval?phi=bogus", 400, &|_| Ok(()));
+    check("/eval?phi=bogus", 400, &|body| {
+        body.contains("\"param\":\"phi\"")
+            .then_some(())
+            .ok_or_else(|| body.to_string())
+    });
     check("/metrics", 200, &|body| {
-        validate_exposition(body).map(|_| ())
+        validate_exposition(body)?;
+        body.contains("gsu_build_info{")
+            .then_some(())
+            .ok_or_else(|| "gsu_build_info missing".to_string())
     });
     check("/trace", 200, &|body| {
         body.starts_with("{\"traceEvents\":")
             .then_some(())
             .ok_or_else(|| "not a trace_event document".to_string())
     });
+    check("/trace?id=zzz", 400, &|_| Ok(()));
+    check("/version", 200, &|body| {
+        body.contains("\"name\":\"gsu-serve\"")
+            .then_some(())
+            .ok_or_else(|| body.to_string())
+    });
     check("/nope", 404, &|_| Ok(()));
+
+    // Round-trip one request through the trace surfaces: the trace id the
+    // /eval response returns must resolve to a span tree on /trace?id= and
+    // to a wide-event line on /requests.
+    match http_get(addr, "/eval?phi=5000") {
+        Ok((200, body)) => {
+            let trace_id = body
+                .split("\"trace_id\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .unwrap_or("")
+                .to_string();
+            if trace_id.is_empty() {
+                eprintln!("smoke: /eval?phi=5000 response has no trace id: {body}");
+                failures.set(failures.get() + 1);
+            } else {
+                check(&format!("/trace?id={trace_id}"), 200, &|body| {
+                    (body.contains("serve.eval") && body.contains(&trace_id))
+                        .then_some(())
+                        .ok_or_else(|| format!("trace {trace_id} not resolved: {body}"))
+                });
+                check("/requests", 200, &|body| {
+                    body.lines()
+                        .any(|l| l.contains(&trace_id) && l.contains("\"solves\":["))
+                        .then_some(())
+                        .ok_or_else(|| format!("no wide event for {trace_id}"))
+                });
+            }
+        }
+        Ok((status, body)) => {
+            eprintln!("smoke: /eval?phi=5000 -> {status}: {body}");
+            failures.set(failures.get() + 1);
+        }
+        Err(e) => {
+            eprintln!("smoke: /eval?phi=5000 failed: {e}");
+            failures.set(failures.get() + 1);
+        }
+    }
 
     handle.shutdown();
     let _ = serving.join();
-    if failures == 0 {
+    if failures.get() == 0 {
         println!("smoke: all endpoints ok");
         ExitCode::SUCCESS
     } else {
-        eprintln!("smoke: {failures} endpoint(s) failed");
+        eprintln!("smoke: {} endpoint(s) failed", failures.get());
         ExitCode::FAILURE
     }
 }

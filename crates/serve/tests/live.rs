@@ -88,7 +88,8 @@ fn serves_live_metrics_during_a_sweep() {
     assert!(body.contains("gsu_serve_request_us_count"));
     assert!(body.contains("gsu_serve_requests"));
 
-    // /eval agrees with a direct evaluation of the same φ.
+    // /eval agrees with a direct evaluation of the same φ, and returns the
+    // request's trace id.
     let (status, body) = http_get(addr, "/eval?phi=7000").expect("/eval");
     assert_eq!(status, 200, "eval body: {body}");
     let served_y = json_number(&body, "y").expect("y field");
@@ -101,13 +102,91 @@ fn serves_live_metrics_during_a_sweep() {
         "served y = {served_y}, direct y = {}",
         direct.y
     );
+    let trace_id = json_string(&body, "trace_id").expect("trace_id field");
+    assert_eq!(trace_id.len(), 16, "trace id is 16 hex digits: {trace_id}");
 
-    // Error handling: missing and unparsable φ.
-    let (status, _) = http_get(addr, "/eval").expect("/eval no phi");
-    assert_eq!(status, 400);
-    let (status, _) = http_get(addr, "/eval?phi=bogus").expect("/eval bad phi");
-    assert_eq!(status, 400);
-    let (status, _) = http_get(addr, "/eval?phi=-5").expect("/eval negative phi");
+    // /trace?id= resolves that id to exactly this request's span tree: a
+    // serve.eval root (parent_id 0) whose descendants all carry the same
+    // trace id and link back to spans within the tree.
+    let (status, doc) = http_get(addr, &format!("/trace?id={trace_id}")).expect("/trace?id=");
+    assert_eq!(status, 200);
+    let events = chrome_events(&doc);
+    assert!(
+        !events.is_empty(),
+        "trace {trace_id} resolved nothing: {doc}"
+    );
+    assert!(
+        events
+            .iter()
+            .all(|e| e.contains(&format!("\"trace_id\":\"{trace_id}\""))),
+        "foreign trace id in {doc}"
+    );
+    let root = events
+        .iter()
+        .find(|e| e.contains("\"serve.eval\""))
+        .expect("serve.eval span in the tree");
+    assert!(
+        root.contains("\"parent_id\":0"),
+        "eval span is the trace root: {root}"
+    );
+    let span_ids: Vec<u64> = events
+        .iter()
+        .map(|e| json_number(e, "span_id").expect("span_id") as u64)
+        .collect();
+    for event in &events {
+        let parent = json_number(event, "parent_id").expect("parent_id") as u64;
+        assert!(
+            parent == 0 || span_ids.contains(&parent),
+            "span with dangling parent {parent}: {event}"
+        );
+    }
+    // The solver flight recorder annotated at least one solve span.
+    assert!(
+        events.iter().any(|e| e.contains("\"solve.method\"")),
+        "no solve diagnostics in {doc}"
+    );
+
+    // /requests carries the request's canonical wide-event line, with the
+    // parameter fingerprint and per-solve iteration counts.
+    let (status, log) = http_get(addr, "/requests").expect("/requests");
+    assert_eq!(status, 200);
+    let line = log
+        .lines()
+        .find(|l| l.contains(&trace_id))
+        .expect("wide-event line for the eval");
+    assert!(
+        line.starts_with("{\"schema\":\"gsu-wide-event-v1\""),
+        "{line}"
+    );
+    assert!(line.contains("\"phi\":7000"), "{line}");
+    assert!(line.contains("\"status\":200"), "{line}");
+    assert!(line.contains("\"params\":\""), "{line}");
+    assert!(line.contains("\"phases\":{"), "{line}");
+    assert!(
+        line.contains("\"solves\":[{") && line.contains("\"iterations\":"),
+        "wide event without solver iterations: {line}"
+    );
+
+    // /version and the build-info gauge agree on the crate version.
+    let (status, version) = http_get(addr, "/version").expect("/version");
+    assert_eq!(status, 200);
+    assert!(version.contains("\"name\":\"gsu-serve\""), "{version}");
+    let (_, metrics) = http_get(addr, "/metrics").expect("/metrics");
+    assert!(metrics.contains("gsu_build_info{version=\""), "{metrics}");
+    assert!(
+        metrics.contains("gsu_http_responses_total{status=\"200\"}"),
+        "{metrics}"
+    );
+
+    // Error handling: missing, unparsable, and out-of-domain φ all produce
+    // structured bodies naming the offending parameter.
+    for target in ["/eval", "/eval?phi=bogus", "/eval?phi=-5"] {
+        let (status, body) = http_get(addr, target).expect(target);
+        assert_eq!(status, 400, "{target}: {body}");
+        assert!(body.contains("\"error\":\""), "{target}: {body}");
+        assert!(body.contains("\"param\":\"phi\""), "{target}: {body}");
+    }
+    let (status, _) = http_get(addr, "/trace?id=nothex!").expect("/trace bad id");
     assert_eq!(status, 400);
 
     // Trace document and 404 handling.
@@ -158,4 +237,22 @@ fn json_number(body: &str, key: &str) -> Option<f64> {
     let rest = &body[start..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// Value of a top-level `"key":"string"` pair in a flat JSON object.
+fn json_string(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Splits a Chrome `trace_event` document into its individual event objects.
+/// Good enough for assertions: every event the collector renders starts with
+/// `{"name":"` and that byte sequence cannot occur inside one.
+fn chrome_events(doc: &str) -> Vec<String> {
+    doc.split("{\"name\":\"")
+        .skip(1)
+        .map(|chunk| format!("{{\"name\":\"{chunk}"))
+        .collect()
 }

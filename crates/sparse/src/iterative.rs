@@ -76,6 +76,8 @@ pub fn jacobi(
     check_square(a, b, x0)?;
     let n = a.rows();
     let diag = checked_diagonal(a)?;
+    let mut span = telemetry::span("sparsela.solve");
+    let mut flight = telemetry::SolveDiag::new("jacobi");
     let mut x = x0.to_vec();
     let mut x_next = vec![0.0; n];
     let mut delta = f64::INFINITY;
@@ -91,15 +93,24 @@ pub fn jacobi(
         }
         delta = crate::vector::diff_norm_inf(&x, &x_next);
         std::mem::swap(&mut x, &mut x_next);
+        if telemetry::enabled() {
+            flight.push_residual(delta);
+        }
         if delta <= opts.tolerance {
+            telemetry::work::count_iterations(it as u64);
             let conv = Convergence {
                 iterations: it,
                 final_delta: delta,
             };
+            flight.iterations = it as u64;
+            flight.record_on(&mut span);
             record_solve("jacobi", &conv, opts);
             return Ok((x, conv));
         }
     }
+    telemetry::work::count_iterations(opts.max_iterations as u64);
+    flight.iterations = opts.max_iterations as u64;
+    flight.record_on(&mut span);
     telemetry::counter("solver.not_converged", 1);
     Err(LinAlgError::NotConverged {
         iterations: opts.max_iterations,
@@ -147,6 +158,13 @@ pub fn sor(
     let n = a.rows();
     let diag = checked_diagonal(a)?;
     let omega = opts.relaxation;
+    let method = if crate::vector::approx_eq(omega, 1.0, 0.0) {
+        "gauss_seidel"
+    } else {
+        "sor"
+    };
+    let mut span = telemetry::span("sparsela.solve");
+    let mut flight = telemetry::SolveDiag::new(method);
     let mut x = x0.to_vec();
     let mut delta = f64::INFINITY;
     for it in 1..=opts.max_iterations {
@@ -163,23 +181,24 @@ pub fn sor(
             delta = delta.max((new - x[r]).abs());
             x[r] = new;
         }
+        if telemetry::enabled() {
+            flight.push_residual(delta);
+        }
         if delta <= opts.tolerance {
+            telemetry::work::count_iterations(it as u64);
             let conv = Convergence {
                 iterations: it,
                 final_delta: delta,
             };
-            record_solve(
-                if crate::vector::approx_eq(omega, 1.0, 0.0) {
-                    "gauss_seidel"
-                } else {
-                    "sor"
-                },
-                &conv,
-                opts,
-            );
+            flight.iterations = it as u64;
+            flight.record_on(&mut span);
+            record_solve(method, &conv, opts);
             return Ok((x, conv));
         }
     }
+    telemetry::work::count_iterations(opts.max_iterations as u64);
+    flight.iterations = opts.max_iterations as u64;
+    flight.record_on(&mut span);
     telemetry::counter("solver.not_converged", 1);
     Err(LinAlgError::NotConverged {
         iterations: opts.max_iterations,

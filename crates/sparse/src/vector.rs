@@ -30,6 +30,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// ```
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    telemetry::work::count_axpy(1);
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }

@@ -86,6 +86,12 @@ struct AtomicHistogram {
     min: AtomicF64,
     max: AtomicF64,
     buckets: [AtomicU64; BUCKETS],
+    // Last observation made under a live trace, as (value, trace id). Two
+    // independent relaxed atomics: a racing pair may mix value and trace id
+    // from different observations, which is acceptable for an advisory
+    // exemplar and keeps the hot path lock-free.
+    exemplar_value: AtomicF64,
+    exemplar_trace: AtomicU64,
 }
 
 impl AtomicHistogram {
@@ -95,6 +101,8 @@ impl AtomicHistogram {
             min: AtomicF64::new(f64::INFINITY),
             max: AtomicF64::new(f64::NEG_INFINITY),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: AtomicF64::new(0.0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -103,6 +111,11 @@ impl AtomicHistogram {
         self.min.update(|m| m.min(value));
         self.max.update(|m| m.max(value));
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let trace_id = crate::TraceContext::current().trace_id;
+        if trace_id != 0 {
+            self.exemplar_value.store(value);
+            self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -124,6 +137,10 @@ impl AtomicHistogram {
             p50: estimate_quantile(&buckets, count, min, max, 0.50),
             p95: estimate_quantile(&buckets, count, min, max, 0.95),
             p99: estimate_quantile(&buckets, count, min, max, 0.99),
+            exemplar: match self.exemplar_trace.load(Ordering::Relaxed) {
+                0 => None,
+                trace_id => Some((trace_id, self.exemplar_value.load())),
+            },
             buckets: buckets
                 .iter()
                 .enumerate()
@@ -228,6 +245,9 @@ pub struct HistogramSnapshot {
     pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// Last observation made under a live trace, as `(trace_id, value)` —
+    /// the exemplar that links the histogram back to a concrete request.
+    pub exemplar: Option<(u64, f64)>,
     /// Non-empty buckets as `(upper bound, count)`, ascending.
     pub buckets: Vec<(f64, u64)>,
 }
@@ -267,6 +287,10 @@ pub struct Snapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Per-span-name aggregates, sorted by name.
     pub spans: Vec<(String, SpanStats)>,
+    /// Total span records collected.
+    pub span_records: u64,
+    /// Number of distinct trace ids among the collected spans.
+    pub trace_count: u64,
     /// Warnings, in emission order.
     pub warnings: Vec<String>,
 }
@@ -284,6 +308,12 @@ pub struct FinishedSpan {
     pub tid: u64,
     /// Nesting depth on its thread (0 = root).
     pub depth: usize,
+    /// Trace id shared by every span in the same request/run tree.
+    pub trace_id: u64,
+    /// Unique id of this span.
+    pub span_id: u64,
+    /// Span id of the enclosing span, or 0 for a trace root.
+    pub parent_id: u64,
     /// Arguments recorded on the span.
     pub args: Vec<(String, ArgValue)>,
 }
@@ -390,6 +420,13 @@ impl Collector {
             let events = self.lock_events();
             (events.spans.clone(), events.warnings.clone())
         };
+        let span_records = spans.len() as u64;
+        let trace_count = {
+            let mut ids: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len() as u64
+        };
         let mut durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
         for s in &spans {
             durations.entry(s.name.clone()).or_default().push(s.dur_us);
@@ -414,8 +451,23 @@ impl Collector {
             gauges,
             histograms,
             spans: span_stats,
+            span_records,
+            trace_count,
             warnings,
         }
+    }
+
+    /// Every span belonging to trace `trace_id`, in completion order. The
+    /// parent links (`parent_id`) reconstruct the request's span tree
+    /// exactly; an empty result means the trace is unknown (or recorded
+    /// nothing).
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<FinishedSpan> {
+        self.lock_events()
+            .spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
     }
 
     fn us_since_epoch(&self, t: Instant) -> u64 {
@@ -432,14 +484,32 @@ impl Collector {
 
     /// Renders the Chrome `trace_event` document (`{"traceEvents": [...]}`,
     /// complete "X" events) loadable in Perfetto or `chrome://tracing`.
+    /// Every event's `args` carries `trace_id` (hex), `span_id`, and
+    /// `parent_id`, so the span tree survives the export (and `gsu-bench
+    /// profile` rebuilds it from exactly these fields).
     pub fn chrome_trace_json(&self) -> String {
+        self.render_chrome_trace(None)
+    }
+
+    /// Like [`Collector::chrome_trace_json`] but restricted to the spans of
+    /// one trace — the document behind `gsu-serve /trace?id=`.
+    pub fn chrome_trace_json_for(&self, trace_id: u64) -> String {
+        self.render_chrome_trace(Some(trace_id))
+    }
+
+    fn render_chrome_trace(&self, only_trace: Option<u64>) -> String {
         let events = self.lock_events();
         let mut out = String::with_capacity(4096);
         out.push_str("{\"traceEvents\":[");
-        for (i, s) in events.spans.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for s in &events.spans {
+            if only_trace.is_some_and(|t| s.trace_id != t) {
+                continue;
+            }
+            if !first {
                 out.push(',');
             }
+            first = false;
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"cat\":\"gsu\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                  \"pid\":1,\"tid\":{}",
@@ -448,22 +518,19 @@ impl Collector {
                 s.dur_us,
                 s.tid
             ));
-            if !s.args.is_empty() {
-                out.push_str(",\"args\":{");
-                for (j, (k, v)) in s.args.iter().enumerate() {
-                    if j > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&format!("\"{}\":", escape(k)));
-                    match v {
-                        ArgValue::F64(x) => out.push_str(&fmt_f64(*x)),
-                        ArgValue::U64(x) => out.push_str(&x.to_string()),
-                        ArgValue::Str(x) => out.push_str(&format!("\"{}\"", escape(x))),
-                    }
+            out.push_str(&format!(
+                ",\"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":{},\"parent_id\":{}",
+                s.trace_id, s.span_id, s.parent_id
+            ));
+            for (k, v) in &s.args {
+                out.push_str(&format!(",\"{}\":", escape(k)));
+                match v {
+                    ArgValue::F64(x) => out.push_str(&fmt_f64(*x)),
+                    ArgValue::U64(x) => out.push_str(&x.to_string()),
+                    ArgValue::Str(x) => out.push_str(&format!("\"{}\"", escape(x))),
                 }
-                out.push('}');
             }
-            out.push('}');
+            out.push_str("}}");
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
@@ -506,13 +573,19 @@ fn exact_quantile_us(sorted: &[u64], q: f64) -> u64 {
 }
 
 impl Snapshot {
-    /// Renders the structured run report (`gsu-telemetry-v2` schema):
+    /// Renders the structured run report (`gsu-telemetry-v3` schema):
     /// counters, gauges, histogram aggregates with p50/p95/p99 and fixed
     /// log₁₀ buckets, per-span-name aggregates with exact duration
-    /// quantiles, and warnings.
+    /// quantiles, trace totals, and warnings. (v3 over v2: spans carry
+    /// trace/span/parent ids end to end, surfaced here as the `traces`
+    /// object and in the Chrome trace export's `args`.)
     pub fn run_report_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\"schema\":\"gsu-telemetry-v2\"");
+        out.push_str("{\"schema\":\"gsu-telemetry-v3\"");
+        out.push_str(&format!(
+            ",\"traces\":{{\"count\":{},\"span_records\":{}}}",
+            self.trace_count, self.span_records
+        ));
 
         out.push_str(",\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -539,7 +612,7 @@ impl Snapshot {
             }
             out.push_str(&format!(
                 "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
-                 \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                 \"p50\":{},\"p95\":{},\"p99\":{}",
                 escape(name),
                 h.count,
                 fmt_f64(h.sum),
@@ -550,6 +623,14 @@ impl Snapshot {
                 fmt_f64(h.p95),
                 fmt_f64(h.p99),
             ));
+            if let Some((trace_id, value)) = h.exemplar {
+                out.push_str(&format!(
+                    ",\"exemplar\":{{\"trace_id\":\"{:016x}\",\"value\":{}}}",
+                    trace_id,
+                    fmt_f64(value)
+                ));
+            }
+            out.push_str(",\"buckets\":[");
             for (b, (le, count)) in h.buckets.iter().enumerate() {
                 if b > 0 {
                     out.push(',');
@@ -625,6 +706,9 @@ impl Sink for Collector {
             dur_us: end_us.saturating_sub(start_us),
             tid: span.tid,
             depth: span.depth,
+            trace_id: span.trace_id,
+            span_id: span.span_id,
+            parent_id: span.parent_id,
             args: span.args,
         };
         self.lock_events().spans.push(finished);
@@ -659,7 +743,8 @@ mod tests {
     fn empty_collector_exports_valid_skeletons() {
         let c = Collector::new();
         let report = c.run_report_json();
-        assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v2\""));
+        assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v3\""));
+        assert!(report.contains("\"traces\":{\"count\":0,\"span_records\":0}"));
         assert!(report.contains("\"counters\":{}"));
         assert!(report.ends_with("\"warnings\":[]}"));
         assert_eq!(
@@ -723,6 +808,53 @@ mod tests {
         assert_eq!(exact_quantile_us(&durs, 0.99), 99);
         assert_eq!(exact_quantile_us(&[42], 0.5), 42);
         assert_eq!(exact_quantile_us(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn trace_spans_filter_and_chrome_export_carry_ids() {
+        let c = Collector::new();
+        let now = Instant::now();
+        let mk = |name: &str, trace_id: u64, span_id: u64, parent_id: u64| SpanRecord {
+            name: name.to_string(),
+            start: now,
+            end: now,
+            tid: 1,
+            depth: 0,
+            trace_id,
+            span_id,
+            parent_id,
+            args: Vec::new(),
+        };
+        c.record_span(mk("a.root", 7, 10, 0));
+        c.record_span(mk("a.child", 7, 11, 10));
+        c.record_span(mk("b.root", 8, 12, 0));
+        let spans = c.trace_spans(7);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.trace_id == 7));
+        assert_eq!(
+            spans
+                .iter()
+                .find(|s| s.name == "a.child")
+                .unwrap()
+                .parent_id,
+            10
+        );
+        assert!(c.trace_spans(99).is_empty());
+
+        let doc = c.chrome_trace_json_for(7);
+        assert!(doc.contains("\"a.root\"") && doc.contains("\"a.child\""));
+        assert!(!doc.contains("\"b.root\""));
+        assert!(doc.contains("\"trace_id\":\"0000000000000007\""));
+        assert!(doc.contains("\"span_id\":11,\"parent_id\":10"));
+        // The unfiltered export still carries everything.
+        assert!(c.chrome_trace_json().contains("\"b.root\""));
+
+        let snap = c.snapshot();
+        assert_eq!(snap.span_records, 3);
+        assert_eq!(snap.trace_count, 2);
+        assert!(snap
+            .run_report_json()
+            .contains("\"traces\":{\"count\":2,\"span_records\":3}"));
     }
 
     #[test]

@@ -39,9 +39,11 @@
 #![warn(missing_docs)]
 
 mod collector;
+mod diag;
 mod json;
 mod log;
 pub mod prometheus;
+pub mod work;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -49,6 +51,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub use collector::{Collector, FinishedSpan, HistogramSnapshot, Snapshot, SpanStats};
+pub use diag::SolveDiag;
 pub use log::{
     init_log_from_env, log_enabled, log_event, log_level, set_log_level, set_log_writer,
     take_log_writer, Level,
@@ -108,6 +111,12 @@ pub struct SpanRecord {
     pub tid: u64,
     /// Nesting depth on its thread at the time the span opened (0 = root).
     pub depth: usize,
+    /// Trace id shared by every span in the same request/run tree.
+    pub trace_id: u64,
+    /// Unique id of this span (process-global, never reused).
+    pub span_id: u64,
+    /// Span id of the enclosing span, or 0 for a trace root.
+    pub parent_id: u64,
     /// Arguments recorded on the span.
     pub args: Vec<(String, ArgValue)>,
 }
@@ -130,10 +139,90 @@ pub trait Sink: Send + Sync {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
     static TID: Cell<u64> = const { Cell::new(0) };
+    static CONTEXT: Cell<TraceContext> = const {
+        Cell::new(TraceContext { trace_id: 0, span_id: 0 })
+    };
+}
+
+/// Identity of the active trace on the calling thread: the trace id shared
+/// by the whole request/run tree, and the span id of the innermost open
+/// span (the parent of any span opened next).
+///
+/// Spans inherit the context automatically within a thread; across threads
+/// the context must be carried explicitly — capture [`TraceContext::current`]
+/// where work is submitted and [`TraceContext::attach`] it inside the
+/// worker. `crates/pool` does exactly this for every spawned task, so spans
+/// emitted by pool workers parent under the submitting span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by every span in the tree; 0 means "no trace yet"
+    /// (the next span opened mints a fresh trace).
+    pub trace_id: u64,
+    /// Span id of the innermost open span; 0 at a trace root.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The context active on the calling thread.
+    pub fn current() -> TraceContext {
+        CONTEXT.with(Cell::get)
+    }
+
+    /// Mints a fresh root context: a new process-unique trace id with no
+    /// parent span. The first span opened under it becomes the trace root.
+    pub fn new_root() -> TraceContext {
+        TraceContext {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            span_id: 0,
+        }
+    }
+
+    /// Installs `self` as the calling thread's context until the returned
+    /// guard drops (which restores the previous context).
+    pub fn attach(self) -> ContextGuard {
+        ContextGuard {
+            prev: CONTEXT.with(|c| c.replace(self)),
+        }
+    }
+
+    /// The trace id as the fixed-width hex string used in HTTP responses,
+    /// wide-event lines, and `/trace?id=`.
+    pub fn trace_id_hex(&self) -> String {
+        format_trace_id(self.trace_id)
+    }
+}
+
+/// Formats a trace id as the canonical 16-digit hex string.
+pub fn format_trace_id(trace_id: u64) -> String {
+    format!("{trace_id:016x}")
+}
+
+/// Parses a hex trace id as produced by [`format_trace_id`]; returns `None`
+/// for malformed input or the reserved id 0.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+/// Restores the previously active [`TraceContext`] when dropped; see
+/// [`TraceContext::attach`].
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: TraceContext,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.set(self.prev));
+    }
 }
 
 /// Whether a sink is installed. The fast path of every emission; callers
@@ -221,6 +310,18 @@ fn current_tid() -> u64 {
 /// guard stays live even without a sink, so span durations still stream to
 /// the structured log.
 pub fn span(name: &str) -> SpanGuard {
+    span_in(name, TraceContext::current())
+}
+
+/// Opens a span that starts a **fresh trace** regardless of the calling
+/// thread's current context: a new trace id is minted and the span has no
+/// parent. Request entry points (one trace per `/eval`) use this; nested
+/// library code should use [`span`], which inherits the active trace.
+pub fn root_span(name: &str) -> SpanGuard {
+    span_in(name, TraceContext::new_root())
+}
+
+fn span_in(name: &str, ctx: TraceContext) -> SpanGuard {
     if !enabled() && !log_enabled(Level::Debug) {
         return SpanGuard { inner: None };
     }
@@ -229,12 +330,23 @@ pub fn span(name: &str) -> SpanGuard {
         d.set(depth + 1);
         depth
     });
+    let trace_id = if ctx.trace_id != 0 {
+        ctx.trace_id
+    } else {
+        NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+    };
+    let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let prev_context = CONTEXT.with(|c| c.replace(TraceContext { trace_id, span_id }));
     SpanGuard {
         inner: Some(SpanInner {
             name: name.to_string(),
             start: Instant::now(),
             tid: current_tid(),
             depth,
+            trace_id,
+            span_id,
+            parent_id: ctx.span_id,
+            prev_context,
             args: Vec::new(),
         }),
     }
@@ -245,6 +357,10 @@ struct SpanInner {
     start: Instant,
     tid: u64,
     depth: usize,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    prev_context: TraceContext,
     args: Vec<(String, ArgValue)>,
 }
 
@@ -260,12 +376,22 @@ impl SpanGuard {
             inner.args.push((key.to_string(), value.into()));
         }
     }
+
+    /// The context `{trace_id, span_id}` this span runs under, or `None` on
+    /// an inert guard.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.inner.as_ref().map(|inner| TraceContext {
+            trace_id: inner.trace_id,
+            span_id: inner.span_id,
+        })
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            CONTEXT.with(|c| c.set(inner.prev_context));
             let end = Instant::now();
             if log_enabled(Level::Debug) {
                 let dur_us = end.duration_since(inner.start).as_micros() as u64;
@@ -283,6 +409,9 @@ impl Drop for SpanGuard {
                     end,
                     tid: inner.tid,
                     depth: inner.depth,
+                    trace_id: inner.trace_id,
+                    span_id: inner.span_id,
+                    parent_id: inner.parent_id,
                     args: inner.args.clone(),
                 })
             });
@@ -309,12 +438,16 @@ pub fn init_from_env(var: &str) -> Option<Arc<Collector>> {
     }
 }
 
+// The sink is process-global; tests anywhere in this crate that install one
+// must serialise on this lock.
+#[cfg(test)]
+pub(crate) static TEST_SINK_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // The sink is process-global; tests that install one must not overlap.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    use crate::TEST_SINK_LOCK as TEST_LOCK;
 
     fn with_collector<T>(f: impl FnOnce(&Arc<Collector>) -> T) -> T {
         let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -392,6 +525,18 @@ mod tests {
             assert_eq!(depth_of("inner1"), 1);
             assert_eq!(depth_of("inner2"), 1);
             assert_eq!(depth_of("innermost"), 2);
+            // All four spans share the trace minted at "outer", and parent
+            // links reconstruct the same tree the depths suggest.
+            let of = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+            let outer = of("outer");
+            assert_ne!(outer.trace_id, 0);
+            assert_eq!(outer.parent_id, 0, "outer is the trace root");
+            for name in ["inner1", "inner2", "innermost"] {
+                assert_eq!(of(name).trace_id, outer.trace_id);
+            }
+            assert_eq!(of("inner1").parent_id, outer.span_id);
+            assert_eq!(of("inner2").parent_id, outer.span_id);
+            assert_eq!(of("innermost").parent_id, of("inner2").span_id);
             // All on one thread here, so the trace nests on a single tid.
             assert_eq!(
                 spans.iter().map(|s| s.tid).collect::<Vec<_>>(),
@@ -455,7 +600,7 @@ mod tests {
             c.run_report_json()
         });
         for needle in [
-            "\"schema\":\"gsu-telemetry-v2\"",
+            "\"schema\":\"gsu-telemetry-v3\"",
             "\"solver.iterations\":17",
             "\"san.states.rmgd\":11",
             "\"fox_glynn.window_len\"",
@@ -464,6 +609,57 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle} in {report}");
         }
+    }
+
+    #[test]
+    fn root_span_starts_a_fresh_trace() {
+        with_collector(|c| {
+            {
+                let _outer = span("request.a");
+                // A root span opened *inside* another trace still breaks out.
+                let _root = root_span("request.b");
+                let _child = span("request.b.child");
+            }
+            let spans = c.spans();
+            let of = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+            assert_ne!(of("request.a").trace_id, of("request.b").trace_id);
+            assert_eq!(of("request.b").parent_id, 0);
+            assert_eq!(of("request.b.child").trace_id, of("request.b").trace_id);
+            assert_eq!(of("request.b.child").parent_id, of("request.b").span_id);
+            // After both guards dropped, the thread context is restored.
+            let _tail = span("request.a.tail");
+        });
+    }
+
+    #[test]
+    fn attach_carries_a_trace_across_threads() {
+        with_collector(|c| {
+            let ctx = {
+                let parent = span("submit");
+                parent.context().expect("live guard has a context")
+            };
+            let worker = std::thread::spawn(move || {
+                let _attached = ctx.attach();
+                let _s = span("worker.task");
+            });
+            worker.join().expect("worker thread");
+            let spans = c.spans();
+            let submit = spans.iter().find(|s| s.name == "submit").unwrap();
+            let task = spans.iter().find(|s| s.name == "worker.task").unwrap();
+            assert_eq!(task.trace_id, submit.trace_id);
+            assert_eq!(task.parent_id, submit.span_id);
+            assert_ne!(task.tid, submit.tid, "worker ran on its own thread");
+        });
+    }
+
+    #[test]
+    fn trace_id_hex_roundtrip() {
+        let ctx = TraceContext::new_root();
+        let hex = ctx.trace_id_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(parse_trace_id(&hex), Some(ctx.trace_id));
+        assert_eq!(parse_trace_id("zz"), None);
+        assert_eq!(parse_trace_id("0"), None, "0 is the reserved null trace");
     }
 
     #[test]

@@ -24,10 +24,27 @@ use crate::collector::Snapshot;
 pub fn render(snapshot: &Snapshot) -> String {
     let mut out = String::with_capacity(4096);
 
+    // Counters named `http.responses.<status>` fold into one labelled
+    // family, the conventional HTTP status breakdown.
+    let mut http_statuses: Vec<(&str, u64)> = Vec::new();
     for (name, value) in &snapshot.counters {
+        if let Some(status) = name.strip_prefix("http.responses.") {
+            http_statuses.push((status, *value));
+            continue;
+        }
         let metric = sanitize(name);
         let _ = writeln!(out, "# TYPE {metric} counter");
         let _ = writeln!(out, "{metric} {value}");
+    }
+    if !http_statuses.is_empty() {
+        let _ = writeln!(out, "# TYPE gsu_http_responses_total counter");
+        for (status, value) in http_statuses {
+            let _ = writeln!(
+                out,
+                "gsu_http_responses_total{{status=\"{}\"}} {value}",
+                escape_label(status)
+            );
+        }
     }
 
     for (name, value) in &snapshot.gauges {
@@ -47,6 +64,16 @@ pub fn render(snapshot: &Snapshot) -> String {
         let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{metric}_sum {}", fmt_value(h.sum));
         let _ = writeln!(out, "{metric}_count {}", h.count);
+        // Exemplar as a comment line: the classic 0.0.4 text format has no
+        // exemplar syntax, and comments keep every parser of this
+        // exposition (including our own validator) happy.
+        if let Some((trace_id, value)) = h.exemplar {
+            let _ = writeln!(
+                out,
+                "# EXEMPLAR {metric} trace_id=\"{trace_id:016x}\" value={}",
+                fmt_value(value)
+            );
+        }
         for (suffix, q) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
             let _ = writeln!(out, "# TYPE {metric}_{suffix} gauge");
             let _ = writeln!(out, "{metric}_{suffix} {}", fmt_value(q));
@@ -178,6 +205,9 @@ mod tests {
             end: std::time::Instant::now(),
             tid: 1,
             depth: 0,
+            trace_id: 1,
+            span_id: 1,
+            parent_id: 0,
             args: Vec::new(),
         });
         let text = c.snapshot().prometheus_text();
@@ -188,5 +218,40 @@ mod tests {
     #[test]
     fn label_escaping() {
         assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn http_response_counters_fold_into_a_labelled_family() {
+        let c = Collector::new();
+        c.counter_add("http.responses.200", 7);
+        c.counter_add("http.responses.400", 2);
+        c.counter_add("serve.requests", 9);
+        let text = c.snapshot().prometheus_text();
+        assert!(text.contains("# TYPE gsu_http_responses_total counter"));
+        assert!(text.contains("gsu_http_responses_total{status=\"200\"} 7"));
+        assert!(text.contains("gsu_http_responses_total{status=\"400\"} 2"));
+        assert!(
+            !text.contains("gsu_http_responses_200"),
+            "per-status counters must not also render flat: {text}"
+        );
+        assert!(text.contains("gsu_serve_requests 9"));
+    }
+
+    #[test]
+    fn exemplars_render_as_comment_lines() {
+        let c = Collector::new();
+        let ctx = crate::TraceContext::new_root();
+        {
+            // The observation happens under a live trace context, so the
+            // histogram captures (value, trace id) as its exemplar.
+            let _attached = ctx.attach();
+            c.observe("serve.request_us", 123.0);
+        }
+        let text = c.snapshot().prometheus_text();
+        let needle = format!(
+            "# EXEMPLAR gsu_serve_request_us trace_id=\"{}\" value=123",
+            ctx.trace_id_hex()
+        );
+        assert!(text.contains(&needle), "missing exemplar line in {text}");
     }
 }

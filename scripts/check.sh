@@ -5,6 +5,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Stamp builds with the commit under test so gsu_build_info / /version can
+# identify what was deployed (option_env! keeps builds working without it).
+GSU_GIT_HASH="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export GSU_GIT_HASH
+
 echo "==> cargo fmt --check ($(cargo fmt --version))"
 # Style is pinned in rustfmt.toml so the check is toolchain-stable.
 cargo fmt --all -- --check
@@ -56,8 +61,18 @@ if command -v curl > /dev/null; then
     curl -fsS "$SERVE_URL/healthz" | grep -qx 'ok'
     curl -fsS "$SERVE_URL/metrics" | grep -q '^# TYPE gsu_'
     curl -fsS "$SERVE_URL/metrics" | grep -q '^gsu_lint_findings_total'
-    curl -fsS "$SERVE_URL/eval?phi=0.5" | grep -q '"y":'
-    echo "curl probes ok ($SERVE_URL)"
+    curl -fsS "$SERVE_URL/metrics" | grep -q '^gsu_build_info{version='
+    curl -fsS "$SERVE_URL/version" | grep -q '"name":"gsu-serve"'
+    # Request-scoped tracing round trip: the trace id /eval returns must
+    # resolve to its span tree on /trace?id= and to a wide-event line
+    # (with solver diagnostics) on /requests.
+    EVAL_BODY="$(curl -fsS "$SERVE_URL/eval?phi=0.5")"
+    echo "$EVAL_BODY" | grep -q '"y":'
+    TRACE_ID="$(echo "$EVAL_BODY" | sed -n 's#.*"trace_id":"\([0-9a-f]*\)".*#\1#p')"
+    [ -n "$TRACE_ID" ] || { echo "/eval returned no trace id: $EVAL_BODY"; exit 1; }
+    curl -fsS "$SERVE_URL/trace?id=$TRACE_ID" | grep -q '"serve.eval"'
+    curl -fsS "$SERVE_URL/requests" | grep "$TRACE_ID" | grep -q '"solves":\['
+    echo "curl probes ok ($SERVE_URL, trace $TRACE_ID)"
 fi
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
@@ -65,7 +80,26 @@ wait "$SERVE_PID" 2>/dev/null || true
 # through the real TCP stack, with or without curl present.
 target/release/gsu-serve smoke --workers 2
 
-# Bench regression gate: committed sweep numbers vs the committed baseline.
+# Flight-recorder round trip: a telemetry-enabled fig9 run must produce a
+# Chrome trace that gsu-bench profile can rebuild into folded flamegraph
+# stacks (`path;to;span N`) and a per-span self-time table.
+echo "==> gsu-bench profile (fig9 flight recorder)"
+PROFILE_DIR="$(mktemp -d)"
+GSU_TELEMETRY=1 target/release/fig9 --steps 4 --out "$PROFILE_DIR" > /dev/null
+[ -s "$PROFILE_DIR/trace.json" ] || { echo "fig9 wrote no trace.json"; exit 1; }
+FOLDED="$(target/release/gsu-bench profile --trace "$PROFILE_DIR/trace.json" --folded)"
+echo "$FOLDED" | grep -Eq '^[^ ;]+(;[^ ;]+)+ [0-9]+$' \
+    || { echo "profile emitted no nested folded stack:"; echo "$FOLDED"; exit 1; }
+echo "$FOLDED" | grep -q 'markov.solve' \
+    || { echo "profile shows no solver spans:"; echo "$FOLDED"; exit 1; }
+target/release/gsu-bench profile --trace "$PROFILE_DIR/trace.json" --table \
+    | grep -Eq '^span +count +total_us +self_us$' \
+    || { echo "profile self-time table malformed"; exit 1; }
+rm -rf "$PROFILE_DIR"
+
+# Bench regression gate: committed sweep numbers vs the committed baseline —
+# wall time plus the deterministic work metrics (solver iterations, SpMV
+# ops), so an algorithmic slowdown fails even when wall-clock noise hides it.
 # --no-update keeps the gate read-only so the tree stays clean under CI.
 echo "==> gsu-bench regress"
 target/release/gsu-bench regress --no-update

@@ -2,21 +2,29 @@
 //! counters, observations, and spans while the main thread repeatedly calls
 //! `Collector::snapshot()`. No emission may be lost, counters must be
 //! monotone across snapshots, and both exported formats (Prometheus text
-//! exposition, `gsu-telemetry-v2` run report) must stay well-formed at every
-//! intermediate snapshot.
+//! exposition, `gsu-telemetry-v3` run report) must stay well-formed at every
+//! intermediate snapshot. A second test checks trace propagation: span
+//! trees reconstruct per request even when four pool workers interleave
+//! their spans on the same collector.
 //!
-//! One `#[test]` because the telemetry sink is process-global.
+//! The telemetry sink is process-global, so the tests serialize on a local
+//! lock.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use telemetry::Snapshot;
 
 const WORKERS: usize = 4;
 const EMISSIONS_PER_WORKER: u64 = 2_000;
 
+/// Serializes the `#[test]`s in this binary: each installs its own global
+/// collector and must not observe the other's traffic.
+static SINK: Mutex<()> = Mutex::new(());
+
 #[test]
 fn concurrent_emission_loses_nothing_and_snapshots_stay_valid() {
+    let _sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
     let collector = telemetry::Collector::install();
     let done = Arc::new(AtomicBool::new(false));
 
@@ -102,6 +110,110 @@ fn concurrent_emission_loses_nothing_and_snapshots_stay_valid() {
     telemetry::clear_sink();
 }
 
+#[test]
+fn span_trees_reconstruct_per_request_across_pool_workers() {
+    let _sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let collector = telemetry::Collector::install();
+    let pool = pool::Pool::new(WORKERS);
+
+    // Scenario 1 — four concurrent "requests", one per pool worker. Each
+    // mints its own trace root and nests spans two deep; the trees must come
+    // back disjoint and correctly linked even though all four interleave
+    // into one collector.
+    let request_traces: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    pool.scope(|scope| {
+        let request_traces = &request_traces;
+        for worker in 0..WORKERS {
+            scope.spawn(move || {
+                let ctx = telemetry::TraceContext::new_root();
+                let _attached = ctx.attach();
+                {
+                    let mut root = telemetry::span("tree.request");
+                    root.record("worker", worker as u64);
+                    for _ in 0..3 {
+                        let _mid = telemetry::span("tree.mid");
+                        let _leaf = telemetry::span("tree.leaf");
+                    }
+                }
+                request_traces.lock().unwrap().push(ctx.trace_id);
+            });
+        }
+    });
+
+    let request_traces = request_traces.into_inner().unwrap();
+    assert_eq!(request_traces.len(), WORKERS);
+    let mut distinct = request_traces.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(distinct.len(), WORKERS, "trace ids must be distinct");
+
+    for &trace_id in &request_traces {
+        let spans = collector.trace_spans(trace_id);
+        assert_eq!(spans.len(), 7, "request tree: 1 root + 3 mid + 3 leaf");
+        assert!(spans.iter().all(|s| s.trace_id == trace_id));
+        let root = spans
+            .iter()
+            .find(|s| s.name == "tree.request")
+            .expect("request root span");
+        assert_eq!(root.parent_id, 0, "request span is the trace root");
+        // Every non-root span links to a parent inside the same tree, and
+        // the parent is the right kind: mid -> root, leaf -> mid.
+        for span in spans.iter().filter(|s| s.span_id != root.span_id) {
+            let parent = spans
+                .iter()
+                .find(|p| p.span_id == span.parent_id)
+                .unwrap_or_else(|| panic!("orphaned span {:?}", span.name));
+            match span.name.as_str() {
+                "tree.mid" => assert_eq!(parent.name, "tree.request"),
+                "tree.leaf" => assert_eq!(parent.name, "tree.mid"),
+                other => panic!("unexpected span {other:?} in request tree"),
+            }
+        }
+    }
+
+    // Scenario 2 — one request fanning out through the pool: tasks spawned
+    // via `Scope::spawn` inherit the spawning thread's context, so the
+    // worker-side spans must join the request's trace with the request span
+    // as their parent, despite running on four different threads.
+    let ctx = telemetry::TraceContext::new_root();
+    let fan_trace = ctx.trace_id;
+    {
+        let _attached = ctx.attach();
+        let _request = telemetry::span("fan.request");
+        // The barrier forces the four children to be in flight at once, so
+        // they provably run on four distinct threads rather than one fast
+        // worker draining the queue serially.
+        let barrier = std::sync::Barrier::new(WORKERS);
+        pool.scope(|scope| {
+            let barrier = &barrier;
+            for _ in 0..WORKERS {
+                scope.spawn(move || {
+                    let _child = telemetry::span("fan.child");
+                    barrier.wait();
+                });
+            }
+        });
+    }
+    let spans = collector.trace_spans(fan_trace);
+    assert_eq!(spans.len(), 1 + WORKERS);
+    let root = spans.iter().find(|s| s.name == "fan.request").unwrap();
+    let children: Vec<_> = spans.iter().filter(|s| s.name == "fan.child").collect();
+    assert_eq!(children.len(), WORKERS);
+    assert!(
+        children.iter().all(|c| c.parent_id == root.span_id),
+        "pool workers must parent to the request span"
+    );
+    let tids: std::collections::BTreeSet<u64> = children.iter().map(|c| c.tid).collect();
+    assert!(
+        tids.len() > 1,
+        "fan-out should actually cross threads (got tids {tids:?})"
+    );
+
+    // Neither scenario's spans leaked into the other's trace.
+    assert!(request_traces.iter().all(|&t| t != fan_trace));
+    telemetry::clear_sink();
+}
+
 fn counter_of(snapshot: &Snapshot, name: &str) -> u64 {
     snapshot
         .counters
@@ -117,7 +229,7 @@ fn assert_valid_exports(snapshot: &Snapshot) {
         gsu_serve::validate_exposition(&text).expect("valid Prometheus exposition");
     }
     let report = snapshot.run_report_json();
-    assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v2\""));
+    assert!(report.starts_with("{\"schema\":\"gsu-telemetry-v3\""));
     assert_eq!(
         report.matches('{').count(),
         report.matches('}').count(),
