@@ -1,9 +1,11 @@
-//! `gsu-bench`: harness utilities as a CLI. Two subcommands:
+//! `gsu-bench`: harness utilities as a CLI. Three subcommands:
 //!
 //! ```text
 //! gsu-bench regress [--baseline PATH] [--current PATH]
 //!                   [--threshold FRACTION] [--no-update] [--allow-missing]
 //! gsu-bench profile --trace PATH [--folded | --table]
+//! gsu-bench scenarios [--dir PATH] [--golden PATH] [--out PATH]
+//!                     [--write-golden | --check]
 //! ```
 //!
 //! `regress` compares the current `BENCH_sweep.json` against the committed
@@ -16,6 +18,11 @@
 //! `GSU_TELEMETRY=1` run (or fetched from `gsu-serve /trace?id=`) and prints
 //! folded flamegraph stacks plus a per-span self-time table; see
 //! [`gsu_bench::profile`].
+//!
+//! `scenarios` sweeps the `.gsu` catalog through the analytic pipeline and
+//! checks (or regenerates with `--write-golden`) the committed golden Y(φ)
+//! curves, leaving per-scenario `BenchRecord`s for the regress gate; see
+//! [`gsu_bench::scenarios`].
 
 #![forbid(unsafe_code)]
 
@@ -25,7 +32,9 @@ use gsu_bench::regress::{RegressConfig, DEFAULT_THRESHOLD};
 
 const USAGE: &str = "usage: gsu-bench regress [--baseline PATH] [--current PATH] \
                      [--threshold FRACTION] [--no-update] [--allow-missing]\n  \
-                     | gsu-bench profile --trace PATH [--folded | --table]";
+                     | gsu-bench profile --trace PATH [--folded | --table]\n  \
+                     | gsu-bench scenarios [--dir PATH] [--golden PATH] [--out PATH] \
+                     [--write-golden | --check]";
 
 fn main() -> ExitCode {
     telemetry::init_log_from_env("GSU_LOG");
@@ -33,6 +42,7 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("regress") => regress(args),
         Some("profile") => profile(args),
+        Some("scenarios") => scenarios(args),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -131,6 +141,43 @@ fn regress(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("gsu-bench regress: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn scenarios(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut config = gsu_bench::scenarios::ScenariosConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => match args.next() {
+                Some(path) => config.dir = path.into(),
+                None => return usage("--dir needs a path"),
+            },
+            "--golden" => match args.next() {
+                Some(path) => config.golden = path.into(),
+                None => return usage("--golden needs a path"),
+            },
+            "--out" => match args.next() {
+                Some(path) => config.out = path.into(),
+                None => return usage("--out needs a path"),
+            },
+            "--write-golden" => config.write_golden = true,
+            "--check" => config.write_golden = false,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    match gsu_bench::scenarios::run(&config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gsu-bench scenarios: {e}");
             ExitCode::from(2)
         }
     }

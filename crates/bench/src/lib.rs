@@ -16,6 +16,7 @@ use performability::{GsuAnalysis, PerfError, SweepPoint};
 
 pub mod profile;
 pub mod regress;
+pub mod scenarios;
 
 /// A labelled `Y(φ)` curve.
 #[derive(Debug, Clone)]

@@ -3,7 +3,7 @@
 
 use san::Analyzer;
 
-use crate::gsu::{rmgd, rmgp, rmnd};
+use crate::gsu::{self, rmgd, rmgp, rmnd};
 use crate::{assemble, ConstituentMeasures, GammaPolicy, GsuParams, PerfError, Result, SweepPoint};
 
 /// Where the forward-progress fractions `ρ1`, `ρ2` come from.
@@ -152,43 +152,12 @@ impl GsuAnalysis {
         let mut span = telemetry::span("performability.measures");
         span.record("phi", phi);
         let theta = self.params.theta;
-        let p = self.rmgd_places;
 
-        // RMGd measures (Table 1). At φ = 0 the G-OP process X' is
-        // degenerate: no error can occur in an empty interval.
-        let (p_a1_gop, i_h, i_hf, i_tau_h, i_tau_h_exact) = if phi == 0.0 {
-            (1.0, 0.0, 0.0, 0.0, 0.0)
-        } else {
-            let p_a1 = self
-                .rmgd_analyzer
-                .probability_at(phi, move |mk| p.in_a1(mk))?;
-            let i_h = self
-                .rmgd_analyzer
-                .probability_at(phi, move |mk| p.in_a3(mk))?;
-            let i_hf = self
-                .rmgd_analyzer
-                .probability_at(phi, move |mk| p.detected_then_failed(mk))?;
-            // Table 1: rate +1 on A'2 (detected == 0), −1 on A'4
-            // (detected == 0 && failure == 1), accumulated over [0, φ].
-            let spec = san::RewardSpec::new()
-                .rate_when(move |mk| p.in_a2(mk), 1.0)
-                .rate_when(move |mk| p.in_a4(mk), -1.0);
-            let i_tau_h = self.rmgd_analyzer.accumulated_reward(&spec, phi)?;
-            // The exact truncated moment E[τ·1{τ ≤ φ}] by first-passage
-            // analysis into the detected states (alive or subsequently
-            // failed) — see DESIGN.md on the Table-1 censoring.
-            let space = self.rmgd_analyzer.state_space();
-            let detected_states =
-                space.states_where(|mk| mk.tokens(self.rmgd_places.detected) == 1);
-            let i_tau_h_exact = markov::first_passage::truncated_mean_hitting_time(
-                space.ctmc(),
-                space.initial_distribution(),
-                &detected_states,
-                phi,
-                &Default::default(),
-            )?;
-            (p_a1, i_h, i_hf, i_tau_h, i_tau_h_exact)
-        };
+        // RMGd measures (Table 1), via the state-set–generic engine shared
+        // with the scenario layer.
+        let gop = gsu::gop_measures(&self.rmgd_analyzer, self.rmgd_places, phi)?;
+        let (p_a1_gop, i_h, i_hf, i_tau_h, i_tau_h_exact) =
+            (gop.p_a1, gop.i_h, gop.i_hf, gop.i_tau_h, gop.i_tau_h_exact);
 
         // RMNd measures (§5.2.3).
         let remaining = theta - phi;

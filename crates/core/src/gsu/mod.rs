@@ -10,10 +10,12 @@
 //!   (submodel of `X'` for the steady-state measures `ρ1`, `ρ2`; Fig. 7);
 //! * [`rmnd`] — `RMNd`, normal-mode behaviour (the model of `X''`; Fig. 8).
 
+pub mod measure_engine;
 pub mod rmgd;
 pub mod rmgp;
 pub mod rmnd;
 
+pub use measure_engine::{gop_measures, GopMeasures, GopStateSets};
 pub use rmgd::{Rmgd, RmgdPlaces};
 pub use rmgp::{Rmgp, RmgpPlaces};
 pub use rmnd::{Rmnd, RmndPlaces};

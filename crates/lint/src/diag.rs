@@ -207,6 +207,12 @@ pub const RULES: &[RuleInfo] = &[
         layer: Layer::Model,
         summary: "a guarded-operation duration phi lies outside [0, theta]",
     },
+    RuleInfo {
+        id: "scenario-parse",
+        severity: Severity::Deny,
+        layer: Layer::Model,
+        summary: "a committed .gsu scenario fails to parse, load, or match its file stem",
+    },
 ];
 
 /// Looks a rule up by id.

@@ -79,7 +79,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     if opts.run_models {
         let mut span = telemetry::span("lint.models");
-        let model_findings = semantics::check_gsu_models(&GsuParams::paper_baseline());
+        let mut model_findings = semantics::check_gsu_models(&GsuParams::paper_baseline());
+        // The scenario catalog rides the models pass: every committed .gsu
+        // file must parse and compile to semantically sound models. A
+        // missing directory just means this tree has no catalog.
+        let scenarios_dir = opts.root.join("scenarios");
+        if scenarios_dir.is_dir() {
+            model_findings.extend(semantics::check_scenarios(&scenarios_dir));
+        }
         span.record("findings", model_findings.len());
         findings.extend(model_findings);
     }

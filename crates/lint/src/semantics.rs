@@ -10,7 +10,7 @@
 //! offending state, activity, pair, or parameter.
 
 use markov::graph::{can_reach, strongly_connected_components};
-use performability::gsu::{rmgd, rmgp, rmnd};
+use performability::gsu::{rmgd, rmgp, rmnd, GopStateSets};
 use performability::GsuParams;
 use san::{RewardSpec, SanModel, StateSpace};
 use sparsela::CsrMatrix;
@@ -339,7 +339,7 @@ pub fn check_gsu_models(params: &GsuParams) -> Vec<Finding> {
 
     findings.extend(check_one_san(
         "RMGd",
-        || {
+        || -> san::Result<_> {
             let built = rmgd::build(params)?;
             let in_a1 = built.places;
             let spec =
@@ -347,11 +347,12 @@ pub fn check_gsu_models(params: &GsuParams) -> Vec<Finding> {
             Ok((built.model, vec![("occupancy".to_string(), spec)]))
         },
         SolverIntent::Absorbing,
+        GSU_PLACE_BOUND,
     ));
 
     findings.extend(check_one_san(
         "RMGp",
-        || {
+        || -> san::Result<_> {
             let built = rmgp::build(params)?;
             let places = built.places;
             Ok((
@@ -363,6 +364,7 @@ pub fn check_gsu_models(params: &GsuParams) -> Vec<Finding> {
             ))
         },
         SolverIntent::SteadyState,
+        GSU_PLACE_BOUND,
     ));
 
     for (label, mu_first) in [
@@ -371,13 +373,14 @@ pub fn check_gsu_models(params: &GsuParams) -> Vec<Finding> {
     ] {
         findings.extend(check_one_san(
             label,
-            || {
+            || -> san::Result<_> {
                 let built = rmnd::build(params, mu_first)?;
                 let failure = built.places.failure;
                 let spec = RewardSpec::new().rate_when(move |mk| mk.tokens(failure) == 0, 1.0);
                 Ok((built.model, vec![("survival".to_string(), spec)]))
             },
             SolverIntent::Absorbing,
+            GSU_PLACE_BOUND,
         ));
     }
 
@@ -385,12 +388,161 @@ pub fn check_gsu_models(params: &GsuParams) -> Vec<Finding> {
     findings
 }
 
+/// Walks a `.gsu` scenario catalog: every file must parse and match its
+/// file stem, and every compiled scenario model (generalized dependability,
+/// overhead, and normal-mode SANs) must pass the same generator, SAN, and
+/// reward checks the paper-baseline models do — with the solver intent each
+/// model is actually fed to.
+pub fn check_scenarios(dir: &std::path::Path) -> Vec<Finding> {
+    let mut span = telemetry::span("lint.scenarios");
+    let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| path.extension().is_some_and(|ext| ext == "gsu"))
+            .collect(),
+        Err(e) => {
+            return vec![Finding::new(
+                "scenario-parse",
+                dir.display().to_string(),
+                format!("cannot read scenario catalog: {e}"),
+                "commit the scenarios/ directory next to the workspace root",
+            )];
+        }
+    };
+    files.sort();
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let location = path.display().to_string();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                findings.push(Finding::new(
+                    "scenario-parse",
+                    location,
+                    format!("unreadable scenario file: {e}"),
+                    "every committed .gsu file must be readable UTF-8",
+                ));
+                continue;
+            }
+        };
+        let spec = match gsu_scenario::parse(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                findings.push(Finding::new(
+                    "scenario-parse",
+                    format!("{location}:{}:{}", e.line, e.col),
+                    e.message.clone(),
+                    "fix the scenario source; the catalog must parse cleanly",
+                ));
+                continue;
+            }
+        };
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        if spec.name != stem {
+            findings.push(Finding::new(
+                "scenario-parse",
+                location,
+                format!(
+                    "scenario name `{}` does not match file stem `{stem}`",
+                    spec.name
+                ),
+                "rename the file or the scenario so catalog lookups stay unambiguous",
+            ));
+            continue;
+        }
+        checked += 1;
+        findings.extend(check_scenario_models(&spec));
+    }
+    span.record("scenarios", checked);
+    span.record("findings", findings.len());
+    findings
+}
+
+/// Compiles one scenario's three generalized models and runs the full
+/// semantic battery on each.
+pub fn check_scenario_models(spec: &gsu_scenario::ScenarioSpec) -> Vec<Finding> {
+    use gsu_scenario::model as scen;
+
+    let name = &spec.name;
+    let bound = scenario_place_bound(spec);
+    let mut findings = check_params(&spec.params, &spec.phi_grid);
+    findings.extend(check_one_san(
+        &format!("scenario:{name}/Gd"),
+        || -> performability::Result<_> {
+            let built = scen::build_gd(spec)?;
+            let places = built.places.clone();
+            let occupancy =
+                RewardSpec::new().rate_fn(move |mk| places.in_a1(mk) || places.in_a2(mk), |_| 1.0);
+            Ok((built.model, vec![("occupancy".to_string(), occupancy)]))
+        },
+        SolverIntent::Absorbing,
+        bound,
+    ));
+    findings.extend(check_one_san(
+        &format!("scenario:{name}/Gp"),
+        || -> performability::Result<_> {
+            let built = scen::build_gp(spec)?;
+            let places = built.places;
+            Ok((
+                built.model,
+                vec![
+                    ("1-rho1".to_string(), scen::one_minus_rho1_spec(&places)),
+                    ("1-rho2".to_string(), scen::one_minus_rho2_spec(&places)),
+                ],
+            ))
+        },
+        SolverIntent::SteadyState,
+        bound,
+    ));
+    for (label, mu_first) in [
+        ("mu_new", spec.params.mu_new),
+        ("mu_old", spec.params.mu_old),
+    ] {
+        findings.extend(check_one_san(
+            &format!("scenario:{name}/Np[{label}]"),
+            || -> performability::Result<_> {
+                let built = scen::build_np(spec, mu_first)?;
+                let failure = built.places.failure;
+                let survival = RewardSpec::new().rate_when(move |mk| mk.tokens(failure) == 0, 1.0);
+                Ok((built.model, vec![("survival".to_string(), survival)]))
+            },
+            SolverIntent::Absorbing,
+            bound,
+        ));
+    }
+    findings
+}
+
+/// The token bound a scenario's compiled models are allowed to reach. The
+/// base nets are safe, but phase-type expansions count stages (or branch
+/// indices) in a single place, and staged rollouts count completed waves.
+fn scenario_place_bound(spec: &gsu_scenario::ScenarioSpec) -> u32 {
+    fn dist_bound(dist: &gsu_scenario::Dist) -> u32 {
+        match dist {
+            gsu_scenario::Dist::Exp { .. } => 1,
+            gsu_scenario::Dist::Erlang { k, .. } => *k as u32,
+            gsu_scenario::Dist::Hyper { branches } => branches.len() as u32,
+            gsu_scenario::Dist::Det { stages, .. } => *stages as u32,
+        }
+    }
+    let waves = spec
+        .waves
+        .as_ref()
+        .map_or(1, |w| w.count.saturating_sub(1) as u32);
+    GSU_PLACE_BOUND
+        .max(dist_bound(&spec.at))
+        .max(dist_bound(&spec.ckpt))
+        .max(waves)
+}
+
 /// Builds one model + its reward specs, generates the state space, and
 /// runs the generator, SAN, and reward checks.
-fn check_one_san(
+fn check_one_san<E: std::fmt::Display>(
     name: &str,
-    build: impl FnOnce() -> san::Result<(SanModel, Vec<(String, RewardSpec)>)>,
+    build: impl FnOnce() -> Result<(SanModel, Vec<(String, RewardSpec)>), E>,
     intent: SolverIntent,
+    place_bound: u32,
 ) -> Vec<Finding> {
     let (model, specs) = match build() {
         Ok(built) => built,
@@ -415,7 +567,7 @@ fn check_one_san(
         }
     };
     let mut findings = check_generator(name, space.ctmc().generator(), intent);
-    findings.extend(check_san(name, &model, &space, GSU_PLACE_BOUND));
+    findings.extend(check_san(name, &model, &space, place_bound));
     for (spec_name, spec) in &specs {
         findings.extend(check_reward(name, spec_name, spec, &model, &space));
     }
@@ -616,6 +768,103 @@ mod tests {
         assert!(
             findings.is_empty(),
             "expected a clean bill for the paper models, got: {findings:#?}"
+        );
+    }
+
+    const GOOD_SCENARIO: &str = "\
+scenario \"good\"
+theta 50
+lambda 40
+mu_new 0.02
+mu_old 0.0000001
+coverage 0.95
+p_ext 0.1
+at exp 200
+ckpt exp 200
+escorts 2
+phi_grid 0 25 50
+";
+
+    fn scenario_fixture_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gsu-lint-scen-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn clean_scenario_catalog_passes() {
+        let dir = scenario_fixture_dir("clean");
+        std::fs::write(dir.join("good.gsu"), GOOD_SCENARIO).unwrap();
+        let findings = check_scenarios(&dir);
+        assert!(
+            findings.is_empty(),
+            "expected a clean bill for the fixture catalog, got: {findings:#?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seeded_parse_defect_fires_scenario_parse_with_position() {
+        let dir = scenario_fixture_dir("defect");
+        // Two seeded defects: a syntax error (line 3: unknown key) and a
+        // name/stem mismatch. Both must fire `scenario-parse`, nothing else.
+        std::fs::write(
+            dir.join("broken.gsu"),
+            "scenario \"broken\"\ntheta 50\nlambduh 40\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("misnamed.gsu"),
+            GOOD_SCENARIO.replace("\"good\"", "\"other\""),
+        )
+        .unwrap();
+        let findings = check_scenarios(&dir);
+        let parse = rule_at(&findings, "scenario-parse");
+        assert_eq!(parse.len(), 2, "{findings:#?}");
+        assert!(
+            parse[0].ends_with("broken.gsu:3:1"),
+            "defect location should carry line and column: {}",
+            parse[0]
+        );
+        assert!(parse[1].ends_with("misnamed.gsu"), "{}", parse[1]);
+        assert!(
+            findings.iter().all(|f| f.rule == "scenario-parse"),
+            "a file that fails to load must not cascade into model findings: {findings:#?}"
+        );
+        let mismatch = findings
+            .iter()
+            .find(|f| f.location.ends_with("misnamed.gsu"))
+            .unwrap();
+        assert!(
+            mismatch.message.contains("does not match file stem"),
+            "{mismatch:#?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scenario_model_defect_is_caught_by_the_battery() {
+        // A parseable scenario whose compiled models violate solver
+        // contracts: mu_old = 0 makes every old-version process
+        // incorruptible, so old-version fault-manifestation activities are
+        // dead in the dependability and normal-mode models — the liveness
+        // check must fire, and every finding must name a scenario model.
+        let text = GOOD_SCENARIO.replace("mu_old 0.0000001", "mu_old 0");
+        let spec = gsu_scenario::parse(&text).unwrap();
+        let findings = check_scenario_models(&spec);
+        assert!(
+            !findings.is_empty(),
+            "a structurally degenerate scenario must not pass the battery"
+        );
+        assert!(
+            findings.iter().any(|f| f.rule == "san-dead-activity"),
+            "dead fault-manifestation activities must be reported: {findings:#?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .all(|f| f.location.contains("model scenario:good/")),
+            "every finding must name the scenario model it came from: {findings:#?}"
         );
     }
 }

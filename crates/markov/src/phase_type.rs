@@ -87,9 +87,180 @@ impl PhaseType {
         })
     }
 
+    /// Builds a PH law directly from its representation `(π, S)`.
+    ///
+    /// The exit vector is derived as `s⁰ = −S·1`; any initial mass missing
+    /// from `π` becomes a point mass at zero.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidModel`] when `S` is not square, has a
+    ///   positive diagonal / negative off-diagonal entry, a positive row
+    ///   sum, or when `π` has the wrong length, a negative entry, or mass
+    ///   above one.
+    pub fn from_representation(alpha: Vec<f64>, s: DenseMatrix) -> Result<Self> {
+        let m = alpha.len();
+        if s.rows() != m || s.cols() != m {
+            return Err(MarkovError::InvalidModel {
+                context: format!(
+                    "sub-generator is {}x{} but the initial vector has {m} phases",
+                    s.rows(),
+                    s.cols()
+                ),
+            });
+        }
+        let mut exit = vec![0.0; m];
+        for i in 0..m {
+            let mut row_sum = 0.0;
+            for j in 0..m {
+                let v = s[(i, j)];
+                if !v.is_finite() || (i == j && v > 0.0) || (i != j && v < 0.0) {
+                    return Err(MarkovError::InvalidModel {
+                        context: format!("sub-generator entry S[{i},{j}] = {v} is invalid"),
+                    });
+                }
+                row_sum += v;
+            }
+            if row_sum > 1e-9 {
+                return Err(MarkovError::InvalidModel {
+                    context: format!("sub-generator row {i} sums to {row_sum} > 0"),
+                });
+            }
+            exit[i] = (-row_sum).max(0.0);
+        }
+        let mass: f64 = alpha.iter().sum();
+        if alpha.iter().any(|&a| !a.is_finite() || a < 0.0) || mass > 1.0 + 1e-9 {
+            return Err(MarkovError::InvalidDistribution {
+                context: format!("initial phase vector {alpha:?} is not sub-stochastic"),
+            });
+        }
+        Ok(PhaseType {
+            s,
+            exit,
+            alpha,
+            point_mass_at_zero: (1.0 - mass).max(0.0),
+        })
+    }
+
+    /// The exponential law of rate `nu` as a one-phase PH distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidModel`] unless `nu` is finite and
+    /// positive.
+    pub fn exponential(nu: f64) -> Result<Self> {
+        Self::erlang(1, nu)
+    }
+
+    /// The Erlang(`k`, `rate`) law — `k` exponential stages of rate `rate`
+    /// in series. `k = 1` degenerates to the exponential law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidModel`] when `k == 0` or `rate` is not
+    /// finite and positive.
+    pub fn erlang(k: usize, rate: f64) -> Result<Self> {
+        if k == 0 || !rate.is_finite() || rate <= 0.0 {
+            return Err(MarkovError::InvalidModel {
+                context: format!(
+                    "Erlang needs k >= 1 stages and a positive rate, got ({k}, {rate})"
+                ),
+            });
+        }
+        let mut s = DenseMatrix::zeros(k, k);
+        for i in 0..k {
+            s[(i, i)] = -rate;
+            if i + 1 < k {
+                s[(i, i + 1)] = rate;
+            }
+        }
+        let mut alpha = vec![0.0; k];
+        alpha[0] = 1.0;
+        Self::from_representation(alpha, s)
+    }
+
+    /// The hyperexponential law of `branches = [(weight, rate), ...]`: an
+    /// initial probabilistic choice among parallel exponential branches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidModel`] when no branch is given, a
+    /// weight or rate is out of domain, or the weights do not sum to one
+    /// (tolerance `1e-6`).
+    pub fn hyperexponential(branches: &[(f64, f64)]) -> Result<Self> {
+        if branches.is_empty() {
+            return Err(MarkovError::InvalidModel {
+                context: "hyperexponential needs at least one branch".to_string(),
+            });
+        }
+        let mut total = 0.0;
+        for &(w, r) in branches {
+            if !w.is_finite() || w < 0.0 || !r.is_finite() || r <= 0.0 {
+                return Err(MarkovError::InvalidModel {
+                    context: format!("hyperexponential branch ({w}, {r}) is out of domain"),
+                });
+            }
+            total += w;
+        }
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(MarkovError::InvalidModel {
+                context: format!("hyperexponential branch weights sum to {total}, expected 1"),
+            });
+        }
+        let m = branches.len();
+        let mut s = DenseMatrix::zeros(m, m);
+        let mut alpha = vec![0.0; m];
+        for (i, &(w, r)) in branches.iter().enumerate() {
+            s[(i, i)] = -r;
+            alpha[i] = w;
+        }
+        // Normalize away the 1e-6 tolerance so the law is exactly proper.
+        let scale: f64 = alpha.iter().sum();
+        for a in &mut alpha {
+            *a /= scale;
+        }
+        Self::from_representation(alpha, s)
+    }
+
+    /// An Erlang approximation of the deterministic duration `mean`, using
+    /// `stages` phases of rate `stages / mean`.
+    ///
+    /// The approximation preserves the mean exactly; its standard deviation
+    /// is `mean / sqrt(stages)`, so the error shrinks as `stages` grows
+    /// (Chebyshev: `P[|T − mean| > ε] ≤ mean² / (stages·ε²)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidModel`] when `stages == 0` or `mean`
+    /// is not finite and positive.
+    pub fn deterministic_approx(mean: f64, stages: usize) -> Result<Self> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(MarkovError::InvalidModel {
+                context: format!("deterministic approximation needs a positive mean, got {mean}"),
+            });
+        }
+        Self::erlang(stages, stages as f64 / mean)
+    }
+
     /// Number of transient phases.
     pub fn n_phases(&self) -> usize {
         self.alpha.len()
+    }
+
+    /// The initial phase distribution `π` (may sum to < 1 for laws with a
+    /// point mass at zero).
+    pub fn initial(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The sub-generator `S` over the transient phases.
+    pub fn sub_generator(&self) -> &DenseMatrix {
+        &self.s
+    }
+
+    /// The exit-rate vector `s⁰` into absorption.
+    pub fn exit_rates(&self) -> &[f64] {
+        &self.exit
     }
 
     /// `P[T ≤ t]` (includes any point mass at zero).
@@ -412,5 +583,111 @@ mod tests {
         assert!(ph.density(f64::NAN).is_err());
         assert!(ph.quantile(0.0, 1e-9).is_err());
         assert!(ph.quantile(1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn erlang_one_degenerates_to_exponential() {
+        let nu = 2.3;
+        let ph = PhaseType::erlang(1, nu).unwrap();
+        assert_eq!(ph.n_phases(), 1);
+        for t in [0.0, 0.4, 1.0, 3.7] {
+            let want = 1.0 - (-nu * t).exp();
+            assert!((ph.cdf(t).unwrap() - want).abs() < 1e-12, "t = {t}");
+            let want_pdf = nu * (-nu * t).exp();
+            assert!((ph.density(t).unwrap() - want_pdf).abs() < 1e-10, "t = {t}");
+        }
+        let direct = PhaseType::exponential(nu).unwrap();
+        assert!((direct.moment(1).unwrap() - ph.moment(1).unwrap()).abs() < 1e-15);
+        assert!((ph.moment(1).unwrap() - 1.0 / nu).abs() < 1e-12);
+        assert!((ph.moment(2).unwrap() - 2.0 / (nu * nu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_constructor_matches_first_passage_chain() {
+        let nu = 2.0;
+        let direct = PhaseType::erlang(2, nu).unwrap();
+        let c = Ctmc::from_transitions(3, [(0, 1, nu), (1, 2, nu)]).unwrap();
+        let pi0 = c.point_distribution(0);
+        let via_chain = PhaseType::first_passage(&c, &pi0, &[2]).unwrap();
+        for t in [0.1, 0.9, 2.5] {
+            let a = direct.cdf(t).unwrap();
+            let b = via_chain.cdf(t).unwrap();
+            assert!((a - b).abs() < 1e-12, "t = {t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hyperexponential_weights_must_sum_to_one() {
+        assert!(PhaseType::hyperexponential(&[]).is_err());
+        assert!(PhaseType::hyperexponential(&[(0.4, 1.0), (0.4, 2.0)]).is_err());
+        assert!(PhaseType::hyperexponential(&[(0.7, 1.0), (0.7, 2.0)]).is_err());
+        assert!(PhaseType::hyperexponential(&[(0.5, -1.0), (0.5, 2.0)]).is_err());
+        assert!(PhaseType::hyperexponential(&[(-0.2, 1.0), (1.2, 2.0)]).is_err());
+
+        let ph = PhaseType::hyperexponential(&[(0.3, 1.0), (0.7, 4.0)]).unwrap();
+        assert!((ph.initial().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((ph.total_mass().unwrap() - 1.0).abs() < 1e-9);
+        for t in [0.2f64, 1.0, 3.0] {
+            let want = 0.3 * (1.0 - (-t).exp()) + 0.7 * (1.0 - (-4.0 * t).exp());
+            assert!((ph.cdf(t).unwrap() - want).abs() < 1e-11, "t = {t}");
+        }
+        let want_mean = 0.3 / 1.0 + 0.7 / 4.0;
+        assert!((ph.moment(1).unwrap() - want_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_approx_error_bound() {
+        let mean = 2.0;
+        // The Erlang-k approximation keeps the mean exact and has standard
+        // deviation mean/sqrt(k); the CDF mass inside mean ± 3σ must grow
+        // towards 1 as k grows.
+        let mut last_spread = f64::INFINITY;
+        for k in [4, 16, 64] {
+            let ph = PhaseType::deterministic_approx(mean, k).unwrap();
+            assert!((ph.moment(1).unwrap() - mean).abs() < 1e-10, "k = {k}");
+            let var = ph.moment(2).unwrap() - mean * mean;
+            let want_var = mean * mean / k as f64;
+            assert!(
+                (var - want_var).abs() < 1e-8,
+                "k = {k}: {var} vs {want_var}"
+            );
+            // Interquantile spread shrinks like 1/sqrt(k).
+            let spread = ph.quantile(0.9, 1e-10).unwrap() - ph.quantile(0.1, 1e-10).unwrap();
+            assert!(spread < last_spread, "k = {k}");
+            last_spread = spread;
+            let sigma = (want_var).sqrt();
+            let inside = ph.cdf(mean + 3.0 * sigma).unwrap()
+                - ph.cdf((mean - 3.0 * sigma).max(0.0)).unwrap();
+            // Chebyshev guarantees >= 1 - 1/9; the Erlang does far better.
+            assert!(
+                inside > 1.0 - 1.0 / 9.0,
+                "k = {k}: mass inside 3σ = {inside}"
+            );
+        }
+        assert!(last_spread < mean);
+        assert!(PhaseType::deterministic_approx(0.0, 8).is_err());
+        assert!(PhaseType::deterministic_approx(2.0, 0).is_err());
+    }
+
+    #[test]
+    fn from_representation_rejects_bad_structure() {
+        // Positive row sum.
+        let s = DenseMatrix::from_vec(1, 1, vec![0.5]).unwrap();
+        assert!(PhaseType::from_representation(vec![1.0], s).is_err());
+        // Dimension mismatch.
+        let s = DenseMatrix::zeros(2, 2);
+        assert!(PhaseType::from_representation(vec![1.0], s).is_err());
+        // Negative off-diagonal.
+        let s = DenseMatrix::from_vec(2, 2, vec![-1.0, -0.5, 0.0, -1.0]).unwrap();
+        assert!(PhaseType::from_representation(vec![0.5, 0.5], s).is_err());
+        // Super-stochastic initial vector.
+        let s = DenseMatrix::from_vec(1, 1, vec![-1.0]).unwrap();
+        assert!(PhaseType::from_representation(vec![1.5], s).is_err());
+        // Sub-stochastic initial vector => point mass at zero.
+        let s = DenseMatrix::from_vec(1, 1, vec![-1.0]).unwrap();
+        let ph = PhaseType::from_representation(vec![0.75], s).unwrap();
+        assert!((ph.cdf(0.0).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(ph.exit_rates(), &[1.0]);
+        assert_eq!(ph.sub_generator()[(0, 0)], -1.0);
     }
 }

@@ -13,6 +13,7 @@
 //! | `GET /trace`        | the Chrome `trace_event` document collected so far          |
 //! | `GET /trace?id=…`   | the same document restricted to one request's span tree     |
 //! | `GET /eval?phi=…`   | a span-instrumented `Y(φ)` evaluation, as JSON              |
+//! | `GET /eval?scenario=…&phi=…` | the same against a named `.gsu` catalog scenario   |
 //! | `GET /requests`     | recent `/eval` wide-event lines (JSONL, newest last)        |
 //! | `GET /version`      | build identity (crate version, git hash, profile)           |
 //! | `GET /`             | a plain-text endpoint index                                 |
@@ -34,7 +35,7 @@
 
 pub mod http;
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -42,6 +43,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use gsu_scenario::{ScenarioAnalysis, ScenarioSpec};
 use performability::{GsuAnalysis, GsuParams, SweepPoint};
 use telemetry::{ArgValue, Collector, FinishedSpan, Level, TraceContext};
 
@@ -66,11 +68,23 @@ struct ServerState {
     params_fingerprint: String,
     /// Bounded ring of canonical `/eval` wide-event JSONL lines.
     requests: Mutex<VecDeque<String>>,
+    /// The `.gsu` scenario catalog served by `/eval?scenario=`, keyed by
+    /// scenario name.
+    scenarios: Mutex<BTreeMap<String, ScenarioSpec>>,
+    /// Lazily built per-scenario analyses: scenario pipelines are expensive
+    /// to construct (state-space generation), so each is built on first
+    /// request and reused.
+    scenario_cache: Mutex<HashMap<String, Arc<ScenarioAnalysis>>>,
 }
 
 /// Default location of the findings file `gsu-lint --emit-telemetry`
 /// writes, relative to the daemon's working directory.
 pub const LINT_FINDINGS_PATH: &str = "results/lint-findings.jsonl";
+
+/// Default location of the `.gsu` scenario catalog, relative to the
+/// daemon's working directory. A missing directory just disables
+/// `/eval?scenario=`; a present-but-broken catalog fails `bind`.
+pub const SCENARIOS_DIR: &str = "scenarios";
 
 /// A bound (but not yet running) observability daemon.
 pub struct Server {
@@ -110,12 +124,46 @@ impl Server {
             lint_findings: PathBuf::from(LINT_FINDINGS_PATH),
             params_fingerprint: params_fingerprint(&params),
             requests: Mutex::new(VecDeque::with_capacity(REQUEST_LOG_CAP)),
+            scenarios: Mutex::new(BTreeMap::new()),
+            scenario_cache: Mutex::new(HashMap::new()),
         });
-        Ok(Server {
+        let server = Server {
             listener,
             addr,
             state,
-        })
+        };
+        if Path::new(SCENARIOS_DIR).is_dir() {
+            server.load_scenarios(Path::new(SCENARIOS_DIR))?;
+        }
+        Ok(server)
+    }
+
+    /// Loads (or replaces) the `.gsu` scenario catalog served by
+    /// `/eval?scenario=`, returning how many scenarios are now available.
+    /// [`Server::bind`] calls this automatically when [`SCENARIOS_DIR`]
+    /// exists; tests point it at their own directories.
+    ///
+    /// # Errors
+    ///
+    /// Catalog I/O and parse errors (a deployment with a broken committed
+    /// catalog should fail loudly, not serve a partial catalog).
+    pub fn load_scenarios(&self, dir: &Path) -> std::io::Result<usize> {
+        let specs = gsu_scenario::load_dir(dir)
+            .map_err(|e| std::io::Error::other(format!("loading scenario catalog: {e}")))?;
+        let count = specs.len();
+        let mut scenarios = self
+            .state
+            .scenarios
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *scenarios = specs.into_iter().map(|s| (s.name.clone(), s)).collect();
+        drop(scenarios);
+        self.state
+            .scenario_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        Ok(count)
     }
 
     /// The bound socket address (the real port, after `:0` resolution).
@@ -298,6 +346,7 @@ fn route(state: &ServerState, request: &Request) -> Response {
              GET /readyz     readiness\n\
              GET /trace      Chrome trace_event JSON (?id=HEX for one request)\n\
              GET /eval?phi=N evaluate the performability index Y(phi)\n\
+             GET /eval?scenario=NAME&phi=N  the same for a .gsu catalog scenario\n\
              GET /requests   recent /eval wide-event lines (JSONL)\n\
              GET /version    build identity\n",
         ),
@@ -308,10 +357,15 @@ fn route(state: &ServerState, request: &Request) -> Response {
 fn eval(state: &ServerState, request: &Request) -> Response {
     let started = Instant::now();
     let trace_id = TraceContext::current().trace_id;
-    let fail = |phi: Option<f64>, msg: &str| -> Response {
+    let scenario_name = request.query_value("scenario").map(str::to_string);
+    // Every failure names the offending query parameter — `scenario` and
+    // `phi` alike — so clients can distinguish a bad duration from a bad
+    // scenario reference without parsing prose.
+    let fail = |param: &str, phi: Option<f64>, msg: &str| -> Response {
         record_wide_event(
             state,
             trace_id,
+            scenario_name.as_deref(),
             phi,
             400,
             None,
@@ -320,17 +374,29 @@ fn eval(state: &ServerState, request: &Request) -> Response {
         );
         Response::json(
             400,
-            format!("{{\"error\":\"{}\",\"param\":\"phi\"}}", json_escape(msg)),
+            format!(
+                "{{\"error\":\"{}\",\"param\":\"{param}\"}}",
+                json_escape(msg)
+            ),
         )
     };
+    // Resolve the scenario reference first (a cheap catalog lookup) so an
+    // unknown name 400s before any φ parsing or expensive model building.
+    let scenario_spec = match scenario_name.as_deref() {
+        None => None,
+        Some(name) => match lookup_scenario(state, name) {
+            Ok(spec) => Some(spec),
+            Err(msg) => return fail("scenario", None, &msg),
+        },
+    };
     let Some(raw) = request.query_value("phi") else {
-        return fail(None, "missing query parameter phi");
+        return fail("phi", None, "missing query parameter phi");
     };
     let Ok(phi) = raw.parse::<f64>() else {
-        return fail(None, &format!("unparsable phi: {raw}"));
+        return fail("phi", None, &format!("unparsable phi: {raw}"));
     };
     if !phi.is_finite() || phi < 0.0 {
-        return fail(Some(phi), &format!("phi out of domain: {phi}"));
+        return fail("phi", Some(phi), &format!("phi out of domain: {phi}"));
     }
     // The eval span (and every solver span nested inside it) must be dropped
     // — hence recorded — before the wide event reconstructs the request's
@@ -338,7 +404,18 @@ fn eval(state: &ServerState, request: &Request) -> Response {
     let result = {
         let mut span = telemetry::span("serve.eval");
         span.record("phi", phi);
-        let result = state.analysis.evaluate(phi);
+        let result = match scenario_spec {
+            None => state
+                .analysis
+                .evaluate(phi)
+                .map_err(|e| ("phi", e.to_string())),
+            Some(spec) => {
+                span.record("scenario", spec.name.as_str());
+                scenario_analysis(state, spec)
+                    .map_err(|msg| ("scenario", msg))
+                    .and_then(|analysis| analysis.evaluate(phi).map_err(|e| ("phi", e.to_string())))
+            }
+        };
         if let Ok(point) = &result {
             span.record("y", point.y);
         }
@@ -349,30 +426,87 @@ fn eval(state: &ServerState, request: &Request) -> Response {
             record_wide_event(
                 state,
                 trace_id,
+                scenario_name.as_deref(),
                 Some(phi),
                 200,
                 Some(point.y),
                 started.elapsed(),
                 None,
             );
-            let body = format!(
-                "{{\"trace_id\":\"{}\",{}",
-                telemetry::format_trace_id(trace_id),
-                &sweep_point_json(&point)[1..]
+            let mut body = format!(
+                "{{\"trace_id\":\"{}\"",
+                telemetry::format_trace_id(trace_id)
             );
+            if let Some(name) = scenario_name.as_deref() {
+                let _ = write!(body, ",\"scenario\":\"{}\"", json_escape(name));
+            }
+            body.push(',');
+            body.push_str(&sweep_point_json(&point)[1..]);
             Response::json(200, body)
         }
-        Err(e) => fail(Some(phi), &e.to_string()),
+        Err((param, msg)) => fail(param, Some(phi), &msg),
     }
+}
+
+/// Finds a scenario by name in the loaded catalog.
+fn lookup_scenario(state: &ServerState, name: &str) -> Result<ScenarioSpec, String> {
+    let scenarios = state.scenarios.lock().unwrap_or_else(|e| e.into_inner());
+    scenarios.get(name).cloned().ok_or_else(|| {
+        if scenarios.is_empty() {
+            format!("unknown scenario `{name}` (no catalog loaded)")
+        } else {
+            format!(
+                "unknown scenario `{name}` (catalog has {}: {})",
+                scenarios.len(),
+                scenarios
+                    .keys()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    })
+}
+
+/// Returns the cached analysis for a scenario, building (and caching) it on
+/// first use. Construction runs inside the caller's `serve.eval` span, so
+/// cold-start cost is visible in the request's trace.
+fn scenario_analysis(
+    state: &ServerState,
+    spec: ScenarioSpec,
+) -> Result<Arc<ScenarioAnalysis>, String> {
+    let name = spec.name.clone();
+    {
+        let cache = state
+            .scenario_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = cache.get(&name) {
+            return Ok(hit.clone());
+        }
+    }
+    // Built outside the lock: a slow cold start must not block requests for
+    // other (already cached) scenarios. A lost race just builds twice.
+    let built = Arc::new(
+        ScenarioAnalysis::new(spec)
+            .map_err(|e| format!("scenario `{name}` failed to build: {e}"))?,
+    );
+    let mut cache = state
+        .scenario_cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    Ok(cache.entry(name).or_insert(built).clone())
 }
 
 /// Builds the canonical wide-event line for one `/eval` request — trace id,
 /// parameter fingerprint, outcome, per-phase wall breakdown, and the
 /// flight-recorder diagnostics of every solve the request ran — and appends
 /// it to the bounded `/requests` ring.
+#[allow(clippy::too_many_arguments)]
 fn record_wide_event(
     state: &ServerState,
     trace_id: u64,
+    scenario: Option<&str>,
     phi: Option<f64>,
     status: u16,
     y: Option<f64>,
@@ -388,6 +522,9 @@ fn record_wide_event(
         phi.map_or_else(|| "null".to_string(), fmt_f64),
         wall.as_micros()
     );
+    if let Some(scenario) = scenario {
+        let _ = write!(line, ",\"scenario\":\"{}\"", json_escape(scenario));
+    }
     if let Some(y) = y {
         let _ = write!(line, ",\"y\":{}", fmt_f64(y));
     }

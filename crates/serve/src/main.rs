@@ -141,6 +141,20 @@ fn smoke(collector: Arc<Collector>, workers: usize) -> ExitCode {
             .then_some(())
             .ok_or_else(|| body.to_string())
     });
+    // Scenario routes, when a catalog is present next to the daemon (the CI
+    // smoke runs from the workspace root, where `scenarios/` is committed).
+    if std::path::Path::new(gsu_serve::SCENARIOS_DIR).is_dir() {
+        check("/eval?scenario=paper-baseline&phi=5000", 200, &|body| {
+            (body.contains("\"scenario\":\"paper-baseline\"") && body.contains("\"y\":"))
+                .then_some(())
+                .ok_or_else(|| body.to_string())
+        });
+        check("/eval?scenario=no-such&phi=5000", 400, &|body| {
+            body.contains("\"param\":\"scenario\"")
+                .then_some(())
+                .ok_or_else(|| body.to_string())
+        });
+    }
     check("/metrics", 200, &|body| {
         validate_exposition(body)?;
         body.contains("gsu_build_info{")

@@ -275,6 +275,57 @@ pub fn estimate_y(
     })
 }
 
+/// Estimates `Y(φ)` like [`estimate_y`], but with the guarded run's `S2`
+/// discount pinned to a caller-supplied γ (normally the analytic point's
+/// value) and an explicit engine choice. Matching γ removes the one
+/// modelling difference between the simulator's per-path discount and the
+/// analytic `γ = 1 − τ̄/θ`, so analytic-vs-simulation comparisons test the
+/// translation itself — the cross-validation harness of the scenario
+/// catalog runs on this.
+///
+/// # Errors
+///
+/// Propagates configuration validation failures.
+pub fn estimate_y_matched(
+    params: GsuParams,
+    phi: f64,
+    gamma: f64,
+    replications: usize,
+    seed: u64,
+    engine: EngineKind,
+) -> Result<YEstimate, PerfError> {
+    let guarded_cfg = SimConfig::new(params, phi)?.with_gamma(crate::GammaMode::Constant(gamma));
+    let guarded = MonteCarlo::new(guarded_cfg)
+        .with_engine(engine)
+        .with_replications(replications)
+        .with_seed(seed)
+        .run();
+    let unguarded = MonteCarlo::new(SimConfig::new(params, 0.0)?)
+        .with_engine(engine)
+        .with_replications(replications)
+        .with_seed(seed.wrapping_add(0x5EED))
+        .run();
+
+    let ideal = 2.0 * params.theta;
+    let denom = ideal - guarded.mean_worth;
+    let numer = ideal - unguarded.mean_worth;
+    let y = if denom > 0.0 { numer / denom } else { f64::NAN };
+    let half_width = if denom > 0.0 && numer > 0.0 {
+        y * ((unguarded.worth_half_width_95 / numer).powi(2)
+            + (guarded.worth_half_width_95 / denom).powi(2))
+        .sqrt()
+    } else {
+        f64::NAN
+    };
+
+    Ok(YEstimate {
+        y,
+        half_width_95: half_width,
+        guarded,
+        unguarded,
+    })
+}
+
 /// Estimates `Y(φ)` over a whole φ grid — the simulation counterpart of
 /// `GsuAnalysis::sweep_grid`, reusing one unguarded baseline run for every
 /// grid point.
@@ -438,6 +489,15 @@ mod tests {
         let line = s.to_string();
         assert!(line.contains("S1/S2/S3"));
         assert!(line.contains("50 reps"));
+    }
+
+    #[test]
+    fn matched_gamma_estimate_is_reproducible() {
+        let a = estimate_y_matched(baseline(), 7000.0, 0.8, 400, 11, EngineKind::Hybrid).unwrap();
+        let b = estimate_y_matched(baseline(), 7000.0, 0.8, 400, 11, EngineKind::Hybrid).unwrap();
+        assert_eq!(a, b);
+        assert!(a.y.is_finite());
+        assert!(a.y > 1.0, "Y = {}", a.y);
     }
 
     #[test]

@@ -72,6 +72,10 @@ if command -v curl > /dev/null; then
     [ -n "$TRACE_ID" ] || { echo "/eval returned no trace id: $EVAL_BODY"; exit 1; }
     curl -fsS "$SERVE_URL/trace?id=$TRACE_ID" | grep -q '"serve.eval"'
     curl -fsS "$SERVE_URL/requests" | grep "$TRACE_ID" | grep -q '"solves":\['
+    # Scenario route: the daemon runs from the workspace root, so the
+    # committed catalog must be loaded and evaluable by name.
+    curl -fsS "$SERVE_URL/eval?scenario=paper-baseline&phi=5000" \
+        | grep -q '"scenario":"paper-baseline"'
     echo "curl probes ok ($SERVE_URL, trace $TRACE_ID)"
 fi
 kill "$SERVE_PID" 2>/dev/null || true
@@ -96,6 +100,12 @@ target/release/gsu-bench profile --trace "$PROFILE_DIR/trace.json" --table \
     | grep -Eq '^span +count +total_us +self_us$' \
     || { echo "profile self-time table malformed"; exit 1; }
 rm -rf "$PROFILE_DIR"
+
+# Scenario-catalog gate: every committed .gsu scenario must reproduce its
+# committed golden Y(phi) curve bit-tightly; the per-scenario timing/work
+# records land in results/BENCH_sweep.json and feed the regress gate below.
+echo "==> gsu-bench scenarios --check"
+target/release/gsu-bench scenarios --check
 
 # Bench regression gate: committed sweep numbers vs the committed baseline —
 # wall time plus the deterministic work metrics (solver iterations, SpMV

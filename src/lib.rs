@@ -16,6 +16,9 @@
 //!   performability index `Y(φ)`,
 //! * [`mdcd_sim`] — a discrete-event simulator of the MDCD protocol used to
 //!   cross-validate the analytic pipeline,
+//! * [`gsu_scenario`] — the `.gsu` scenario DSL: parameterized GSU families
+//!   (escorts, upgrade waves, coverage decay, aging, phase-type safeguards)
+//!   compiled down to the same pipeline (see `SCENARIOS.md`),
 //! * [`pool`] — the std-only work-stealing thread pool behind the parallel
 //!   φ-sweeps and simulation fan-out (sized by `GSU_THREADS`).
 //!
@@ -36,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use gsu_scenario;
 pub use markov;
 pub use mdcd_sim;
 pub use performability;
@@ -45,6 +49,7 @@ pub use sparsela;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use gsu_scenario::{parse as parse_scenario, ScenarioAnalysis, ScenarioSpec};
     pub use mdcd_sim::{
         estimate_y, EngineKind, GammaMode, MonteCarlo, PathClass, SimConfig, SimRng,
     };
