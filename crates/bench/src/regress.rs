@@ -138,10 +138,18 @@ impl RegressReport {
                     } else {
                         "ok"
                     };
+                let delta = if c.baseline_iterations > 0 {
+                    format!(
+                        " ({:+.1}%)",
+                        (c.current_iterations as f64 / c.baseline_iterations as f64 - 1.0) * 100.0
+                    )
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(
                     out,
-                    "regress: {:<22} threads={} {:>9} vs {:>9} baseline iterations {}",
-                    c.name, c.threads, c.current_iterations, c.baseline_iterations, verdict
+                    "regress: {:<22} threads={} {:>9} vs {:>9} baseline iterations{} {}",
+                    c.name, c.threads, c.current_iterations, c.baseline_iterations, delta, verdict
                 );
             }
             if c.baseline_spmv_ops > 0 || c.current_spmv_ops > 0 {
@@ -176,6 +184,43 @@ impl RegressReport {
                 } else {
                     ""
                 }
+            );
+        }
+        // On a pass, surface how far the ratchet moved: CI logs otherwise
+        // only ever show regressions, so steady speedups stay invisible.
+        if self.passed() && !self.compared.is_empty() {
+            let faster = self.compared.iter().filter(|c| c.ratio < 1.0).count();
+            let log_speedup: f64 = self
+                .compared
+                .iter()
+                .filter(|c| c.ratio > 0.0 && c.ratio.is_finite())
+                .map(|c| -c.ratio.ln())
+                .sum::<f64>()
+                / self.compared.len() as f64;
+            let (base_iters, cur_iters) = self
+                .compared
+                .iter()
+                .filter(|c| c.baseline_iterations > 0)
+                .fold((0u64, 0u64), |(b, c2), c| {
+                    (b + c.baseline_iterations, c2 + c.current_iterations)
+                });
+            let iter_note = if base_iters > 0 {
+                format!(
+                    "; iterations {} -> {} ({:+.1}%)",
+                    base_iters,
+                    cur_iters,
+                    (cur_iters as f64 / base_iters as f64 - 1.0) * 100.0
+                )
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "regress: ratchet summary: {}/{} records faster; geometric-mean speedup x{:.2}{}",
+                faster,
+                self.compared.len(),
+                log_speedup.exp(),
+                iter_note
             );
         }
         let _ = writeln!(
@@ -376,6 +421,38 @@ mod tests {
             DEFAULT_THRESHOLD,
         );
         assert!(report.passed());
+    }
+
+    #[test]
+    fn passing_run_renders_ratchet_summary() {
+        // A 2x speedup with fewer iterations must be visible in the render:
+        // per-record iteration delta plus the aggregate ratchet line.
+        let report = compare(
+            &[rec_work("fig9", 100.0, 1000, 5000)],
+            &[rec_work("fig9", 50.0, 800, 4000)],
+            DEFAULT_THRESHOLD,
+        );
+        assert!(report.passed());
+        let rendered = report.render();
+        assert!(rendered.contains("(-50.0%)"), "{rendered}");
+        assert!(rendered.contains("iterations (-20.0%)"), "{rendered}");
+        assert!(
+            rendered.contains("ratchet summary: 1/1 records faster; geometric-mean speedup x2.00"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("iterations 1000 -> 800 (-20.0%)"),
+            "{rendered}"
+        );
+
+        // A failing run skips the summary — the regression lines are the story.
+        let report = compare(
+            &[rec_work("fig9", 100.0, 1000, 5000)],
+            &[rec_work("fig9", 150.0, 1000, 5000)],
+            DEFAULT_THRESHOLD,
+        );
+        assert!(!report.passed());
+        assert!(!report.render().contains("ratchet summary"));
     }
 
     #[test]

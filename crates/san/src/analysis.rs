@@ -1,5 +1,7 @@
 //! End-to-end reward model solution on a SAN.
 
+use std::sync::{Arc, Mutex};
+
 use markov::steady::SteadyMethod;
 use markov::transient;
 
@@ -9,11 +11,20 @@ use crate::{Marking, ReachabilityOptions, Result, RewardSpec, SanModel, StateSpa
 /// configuration: the three reward variables of the paper (instant-of-time,
 /// accumulated interval-of-time, steady-state) in one call each.
 ///
+/// The stationary distribution is solved at most once per analyzer: every
+/// steady-state query shares the cached vector (see
+/// [`Analyzer::steady_distribution`]), and a warm-start hint from a
+/// neighboring parameter point can be supplied via
+/// [`Analyzer::with_steady_hint`] to cut the iteration count of the first
+/// solve.
+///
 /// See the [crate-level example](crate) for usage.
 pub struct Analyzer {
     space: StateSpace,
     transient_options: transient::Options,
     steady_method: SteadyMethod,
+    steady_hint: Option<Vec<f64>>,
+    steady_cache: Mutex<Option<Arc<Vec<f64>>>>,
 }
 
 impl Analyzer {
@@ -25,11 +36,9 @@ impl Analyzer {
     /// Propagates reachability failures (state-space limit, vanishing loops,
     /// invalid marking functions).
     pub fn generate(model: &SanModel, opts: &ReachabilityOptions) -> Result<Self> {
-        Ok(Analyzer {
-            space: StateSpace::generate(model, opts)?,
-            transient_options: transient::Options::default(),
-            steady_method: SteadyMethod::Direct,
-        })
+        Ok(Analyzer::from_state_space(StateSpace::generate(
+            model, opts,
+        )?))
     }
 
     /// Wraps an already generated state space.
@@ -38,6 +47,8 @@ impl Analyzer {
             space,
             transient_options: transient::Options::default(),
             steady_method: SteadyMethod::Direct,
+            steady_hint: None,
+            steady_cache: Mutex::new(None),
         }
     }
 
@@ -50,7 +61,23 @@ impl Analyzer {
     /// Replaces the steady-state method.
     pub fn with_steady_method(mut self, method: SteadyMethod) -> Self {
         self.steady_method = method;
+        self.invalidate_steady_cache();
         self
+    }
+
+    /// Seeds the steady-state solver with a warm-start hint — typically the
+    /// stationary vector from a neighboring point of a parameter sweep.
+    /// Iterative methods start from it; direct methods ignore it. The hint
+    /// never affects the answer, only the iteration count.
+    pub fn with_steady_hint(mut self, hint: Vec<f64>) -> Self {
+        self.steady_hint = Some(hint);
+        self.invalidate_steady_cache();
+        self
+    }
+
+    fn invalidate_steady_cache(&mut self) {
+        let mut cache = self.steady_cache.lock().unwrap_or_else(|e| e.into_inner());
+        *cache = None;
     }
 
     /// The underlying state space.
@@ -100,13 +127,37 @@ impl Analyzer {
             .accumulated(self.space.ctmc(), &l)?)
     }
 
+    /// The stationary distribution, solved on first use and cached: reward
+    /// queries that need π more than once (e.g. a rate and an impulse
+    /// variable on the same model) pay for a single solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates steady-state solver failures (e.g. a reducible chain).
+    pub fn steady_distribution(&self) -> Result<Arc<Vec<f64>>> {
+        {
+            let cache = self.steady_cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pi) = cache.as_ref() {
+                return Ok(Arc::clone(pi));
+            }
+        }
+        let pi = Arc::new(markov::steady::steady_state_with_hint(
+            self.space.ctmc(),
+            &self.steady_method,
+            self.steady_hint.as_deref(),
+        )?);
+        let mut cache = self.steady_cache.lock().unwrap_or_else(|e| e.into_inner());
+        *cache = Some(Arc::clone(&pi));
+        Ok(pi)
+    }
+
     /// Expected **steady-state** reward.
     ///
     /// # Errors
     ///
     /// Propagates steady-state solver failures (e.g. a reducible chain).
     pub fn steady_reward(&self, spec: &RewardSpec) -> Result<f64> {
-        let pi = markov::steady::steady_state(self.space.ctmc(), &self.steady_method)?;
+        let pi = self.steady_distribution()?;
         Ok(spec.to_structure(&self.space).instant(&pi))
     }
 
@@ -193,6 +244,27 @@ mod tests {
             .probability_at(0.7, move |mk| mk.tokens(up) == 0)
             .unwrap();
         assert!((p_up + p_down - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_distribution_is_cached_and_hint_is_harmless() {
+        let (m, up) = up_down(0.1, 1.0);
+        let an = Analyzer::generate(&m, &Default::default()).unwrap();
+        let first = an.steady_distribution().unwrap();
+        let second = an.steady_distribution().unwrap();
+        // Same allocation: the second query reused the cached solve.
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+
+        // A warm-start hint (even a sloppy one) must not change the answer.
+        let hinted = Analyzer::generate(&m, &Default::default())
+            .unwrap()
+            .with_steady_method(markov::steady::SteadyMethod::GaussSeidel {
+                options: Default::default(),
+            })
+            .with_steady_hint(vec![0.5, 0.5]);
+        let spec = RewardSpec::new().rate_when(move |mk| mk.tokens(up) == 1, 1.0);
+        let a = hinted.steady_reward(&spec).unwrap();
+        assert!((a - 10.0 / 11.0).abs() < 1e-8);
     }
 
     #[test]

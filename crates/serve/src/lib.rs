@@ -13,6 +13,7 @@
 //! | `GET /trace`        | the Chrome `trace_event` document collected so far          |
 //! | `GET /trace?id=…`   | the same document restricted to one request's span tree     |
 //! | `GET /eval?phi=…`   | a span-instrumented `Y(φ)` evaluation, as JSON              |
+//! | `GET /eval?phi=…&mu_new=…` | the same with paper-parameter overrides, memoized per params fingerprint |
 //! | `GET /eval?scenario=…&phi=…` | the same against a named `.gsu` catalog scenario   |
 //! | `GET /requests`     | recent `/eval` wide-event lines (JSONL, newest last)        |
 //! | `GET /version`      | build identity (crate version, git hash, profile)           |
@@ -75,6 +76,12 @@ struct ServerState {
     /// to construct (state-space generation), so each is built on first
     /// request and reused.
     scenario_cache: Mutex<HashMap<String, Arc<ScenarioAnalysis>>>,
+    /// Lazily built paper analyses for `/eval` parameter overrides
+    /// (`mu_new=`, `coverage=`, `theta=`), keyed by the params fingerprint —
+    /// the same memoization pattern as `scenario_cache`, so repeated
+    /// evaluations against one parameter assignment build its state spaces
+    /// and ρ solve once.
+    analysis_cache: Mutex<HashMap<String, Arc<GsuAnalysis>>>,
 }
 
 /// Default location of the findings file `gsu-lint --emit-telemetry`
@@ -126,6 +133,7 @@ impl Server {
             requests: Mutex::new(VecDeque::with_capacity(REQUEST_LOG_CAP)),
             scenarios: Mutex::new(BTreeMap::new()),
             scenario_cache: Mutex::new(HashMap::new()),
+            analysis_cache: Mutex::new(HashMap::new()),
         });
         let server = Server {
             listener,
@@ -346,6 +354,7 @@ fn route(state: &ServerState, request: &Request) -> Response {
              GET /readyz     readiness\n\
              GET /trace      Chrome trace_event JSON (?id=HEX for one request)\n\
              GET /eval?phi=N evaluate the performability index Y(phi)\n\
+             GET /eval?phi=N&mu_new=V&coverage=V&theta=V  the same with paper-parameter overrides (memoized per assignment)\n\
              GET /eval?scenario=NAME&phi=N  the same for a .gsu catalog scenario\n\
              GET /requests   recent /eval wide-event lines (JSONL)\n\
              GET /version    build identity\n",
@@ -398,6 +407,22 @@ fn eval(state: &ServerState, request: &Request) -> Response {
     if !phi.is_finite() || phi < 0.0 {
         return fail("phi", Some(phi), &format!("phi out of domain: {phi}"));
     }
+    // Paper-parameter overrides (`mu_new=`, `coverage=`, `theta=`): only
+    // meaningful against the paper model, so they are rejected alongside a
+    // scenario reference rather than silently ignored.
+    let overridden = match paper_overrides(request) {
+        Ok(params) => {
+            if params.is_some() && scenario_spec.is_some() {
+                return fail(
+                    "scenario",
+                    Some(phi),
+                    "parameter overrides do not apply to catalog scenarios",
+                );
+            }
+            params
+        }
+        Err((param, msg)) => return fail(param, Some(phi), &msg),
+    };
     // The eval span (and every solver span nested inside it) must be dropped
     // — hence recorded — before the wide event reconstructs the request's
     // span tree from the collector.
@@ -405,10 +430,17 @@ fn eval(state: &ServerState, request: &Request) -> Response {
         let mut span = telemetry::span("serve.eval");
         span.record("phi", phi);
         let result = match scenario_spec {
-            None => state
-                .analysis
-                .evaluate(phi)
-                .map_err(|e| ("phi", e.to_string())),
+            None => match overridden {
+                None => state
+                    .analysis
+                    .evaluate(phi)
+                    .map_err(|e| ("phi", e.to_string())),
+                Some(params) => paper_analysis(state, params)
+                    .map_err(|msg| ("params", msg))
+                    .and_then(|analysis| {
+                        analysis.evaluate(phi).map_err(|e| ("phi", e.to_string()))
+                    }),
+            },
             Some(spec) => {
                 span.record("scenario", spec.name.as_str());
                 scenario_analysis(state, spec)
@@ -466,6 +498,62 @@ fn lookup_scenario(state: &ServerState, name: &str) -> Result<ScenarioSpec, Stri
             )
         }
     })
+}
+
+/// Parses the paper-parameter override query values (`mu_new=`, `coverage=`,
+/// `theta=`) into a validated [`GsuParams`], or `None` when no override is
+/// present. Validation failures name the offending query parameter.
+fn paper_overrides(request: &Request) -> Result<Option<GsuParams>, (&'static str, String)> {
+    let mut params = GsuParams::paper_baseline();
+    let mut any = false;
+    for (name, apply) in [
+        (
+            "mu_new",
+            (|p: GsuParams, v: f64| p.with_mu_new(v)) as fn(GsuParams, f64) -> _,
+        ),
+        ("coverage", |p: GsuParams, v: f64| p.with_coverage(v)),
+        ("theta", |p: GsuParams, v: f64| p.with_theta(v)),
+    ] {
+        let Some(raw) = request.query_value(name) else {
+            continue;
+        };
+        let Ok(value) = raw.parse::<f64>() else {
+            return Err((name, format!("unparsable {name}: {raw}")));
+        };
+        params = apply(params, value).map_err(|e| (name, e.to_string()))?;
+        any = true;
+    }
+    Ok(any.then_some(params))
+}
+
+/// Returns the cached paper analysis for an overridden parameter assignment,
+/// building (and caching) it on first use — keyed by the params fingerprint,
+/// exactly like `scenario_analysis`. Construction runs inside the caller's
+/// `serve.eval` span, so cold-start cost is visible in the request's trace.
+fn paper_analysis(state: &ServerState, params: GsuParams) -> Result<Arc<GsuAnalysis>, String> {
+    let fingerprint = params_fingerprint(&params);
+    {
+        let cache = state
+            .analysis_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = cache.get(&fingerprint) {
+            telemetry::counter("serve.analysis_cache.hits", 1);
+            return Ok(hit.clone());
+        }
+    }
+    // Built outside the lock, same as `scenario_analysis`: a slow cold start
+    // must not block cached requests. A lost race just builds twice.
+    telemetry::counter("serve.analysis_cache.misses", 1);
+    let built = Arc::new(
+        GsuAnalysis::new(params)
+            .map_err(|e| format!("overridden analysis failed to build: {e}"))?,
+    );
+    let mut cache = state
+        .analysis_cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    Ok(cache.entry(fingerprint).or_insert(built).clone())
 }
 
 /// Returns the cached analysis for a scenario, building (and caching) it on

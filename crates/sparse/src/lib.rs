@@ -13,8 +13,12 @@
 //! * [`DenseMatrix`] — a small dense matrix with LU factorization
 //!   ([`LuDecomposition`]), used for direct steady-state solutions and by the
 //!   matrix-exponential transient solver in the `markov` crate.
-//! * [`iterative`] — Jacobi, Gauss–Seidel, and SOR iterations for
-//!   `A·x = b`, with convergence diagnostics.
+//! * [`BlockedKernel`] — a transposed, gather-oriented layout of a CSR
+//!   matrix built once and applied across all powers of a uniformization
+//!   pass, with a fused step-plus-weighted-accumulate and an adaptive
+//!   (mass-dropping) scatter variant.
+//! * [`iterative`] — Jacobi, Gauss–Seidel, SOR, and Jacobi-preconditioned
+//!   BiCGStab iterations for `A·x = b`, with convergence diagnostics.
 //! * [`vector`] — the handful of BLAS-1 style kernels (`axpy`, `dot`, norms)
 //!   the solvers need.
 //!
@@ -38,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocked;
 mod coo;
 mod csr;
 mod dense;
@@ -45,6 +50,7 @@ mod error;
 pub mod iterative;
 pub mod vector;
 
+pub use blocked::BlockedKernel;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::{DenseMatrix, LuDecomposition};

@@ -39,6 +39,12 @@ pub struct SolveDiag {
     pub spmv_ops: u64,
     /// Vector axpy-class updates performed by this solve.
     pub axpy_ops: u64,
+    /// Step at which steady-state detection cut the solve short, when it
+    /// triggered.
+    pub ssd_trigger_step: Option<u64>,
+    /// Peak active-state count an adaptive (mass-dropping) solve touched,
+    /// when the method tracks its support.
+    pub active_states: Option<u64>,
 }
 
 impl SolveDiag {
@@ -86,6 +92,12 @@ impl SolveDiag {
         if self.axpy_ops > 0 {
             span.record("solve.axpy_ops", self.axpy_ops);
         }
+        if let Some(step) = self.ssd_trigger_step {
+            span.record("solve.ssd_trigger_step", step);
+        }
+        if let Some(active) = self.active_states {
+            span.record("solve.active_states", active);
+        }
     }
 }
 
@@ -118,6 +130,8 @@ mod tests {
             diag.uniformization_rate = Some(1e7);
             diag.fox_glynn_window = Some((3, 91));
             diag.spmv_ops = 88;
+            diag.ssd_trigger_step = Some(37);
+            diag.active_states = Some(12);
             diag.push_residual(1e-13);
             diag.record_on(&mut span);
         }
@@ -145,6 +159,8 @@ mod tests {
             Some(ArgValue::Str("0.0000000000001".into()))
         );
         assert_eq!(arg("solve.uniformization_rate"), Some(ArgValue::F64(1e7)));
+        assert_eq!(arg("solve.ssd_trigger_step"), Some(ArgValue::U64(37)));
+        assert_eq!(arg("solve.active_states"), Some(ArgValue::U64(12)));
         let direct = &of("solve.direct").args;
         assert!(direct
             .iter()

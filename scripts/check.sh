@@ -101,6 +101,20 @@ target/release/gsu-bench profile --trace "$PROFILE_DIR/trace.json" --table \
     || { echo "profile self-time table malformed"; exit 1; }
 rm -rf "$PROFILE_DIR"
 
+# Hot-path pin: after the adaptive-solver work, fig12's 22-state models at
+# long horizons are solved by the dense matrix exponential — its self time
+# must lead the profile. If uniformization (or anything else) creeps back on
+# top, the hot path drifted and this fails next to the wall/work ratchet.
+echo "==> gsu-bench profile (fig12 hot-path pin)"
+PROFILE_DIR="$(mktemp -d)"
+GSU_TELEMETRY=1 target/release/fig12 --steps 4 --out "$PROFILE_DIR" > /dev/null
+[ -s "$PROFILE_DIR/trace.json" ] || { echo "fig12 wrote no trace.json"; exit 1; }
+TOP_SPAN="$(target/release/gsu-bench profile --trace "$PROFILE_DIR/trace.json" --table \
+    | awk 'NR==2 {print $1}')"
+[ "$TOP_SPAN" = "markov.solve.expm" ] \
+    || { echo "fig12 top self-time span is '$TOP_SPAN', expected markov.solve.expm"; exit 1; }
+rm -rf "$PROFILE_DIR"
+
 # Scenario-catalog gate: every committed .gsu scenario must reproduce its
 # committed golden Y(phi) curve bit-tightly; the per-scenario timing/work
 # records land in results/BENCH_sweep.json and feed the regress gate below.
