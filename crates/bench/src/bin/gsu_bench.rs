@@ -1,4 +1,4 @@
-//! `gsu-bench`: harness utilities as a CLI. Three subcommands:
+//! `gsu-bench`: harness utilities as a CLI. Four subcommands:
 //!
 //! ```text
 //! gsu-bench regress [--baseline PATH] [--current PATH]
@@ -6,6 +6,11 @@
 //! gsu-bench profile --trace PATH [--folded | --table]
 //! gsu-bench scenarios [--dir PATH] [--golden PATH] [--out PATH]
 //!                     [--write-golden | --check]
+//! gsu-bench loadgen [--addr HOST:PORT] [--mode open|closed] [--rate RPS]
+//!                   [--duration SECONDS] [--connections N] [--seed N]
+//!                   [--no-keepalive] [--label NAME] [--slo PATH]
+//!                   [--scenarios PATH] [--report PATH] [--bench PATH]
+//!                   [--check]
 //! ```
 //!
 //! `regress` compares the current `BENCH_sweep.json` against the committed
@@ -23,6 +28,11 @@
 //! checks (or regenerates with `--write-golden`) the committed golden Y(φ)
 //! curves, leaving per-scenario `BenchRecord`s for the regress gate; see
 //! [`gsu_bench::scenarios`].
+//!
+//! `loadgen` drives a live `gsu-serve` with a seeded workload mix over
+//! persistent connections, writes a `gsu-loadgen-v1` latency report plus
+//! `serve:*` bench records, and with `--check` gates the run against the
+//! committed `results/SLO.json`; see [`gsu_bench::loadgen`].
 
 #![forbid(unsafe_code)]
 
@@ -34,7 +44,11 @@ const USAGE: &str = "usage: gsu-bench regress [--baseline PATH] [--current PATH]
                      [--threshold FRACTION] [--no-update] [--allow-missing]\n  \
                      | gsu-bench profile --trace PATH [--folded | --table]\n  \
                      | gsu-bench scenarios [--dir PATH] [--golden PATH] [--out PATH] \
-                     [--write-golden | --check]";
+                     [--write-golden | --check]\n  \
+                     | gsu-bench loadgen [--addr HOST:PORT] [--mode open|closed] \
+                     [--rate RPS] [--duration SECONDS] [--connections N] [--seed N] \
+                     [--no-keepalive] [--label NAME] [--slo PATH] [--scenarios PATH] \
+                     [--report PATH] [--bench PATH] [--check]";
 
 fn main() -> ExitCode {
     telemetry::init_log_from_env("GSU_LOG");
@@ -43,6 +57,7 @@ fn main() -> ExitCode {
         Some("regress") => regress(args),
         Some("profile") => profile(args),
         Some("scenarios") => scenarios(args),
+        Some("loadgen") => loadgen(args),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -178,6 +193,76 @@ fn scenarios(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("gsu-bench scenarios: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn loadgen(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut config = gsu_bench::loadgen::LoadgenConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => return usage("--addr needs a HOST:PORT value"),
+            },
+            "--mode" => match args.next().map(|raw| gsu_bench::loadgen::Mode::parse(&raw)) {
+                Some(Ok(mode)) => config.mode = mode,
+                Some(Err(why)) => return usage(&why),
+                None => return usage("--mode needs open|closed"),
+            },
+            "--rate" => match args.next().and_then(|raw| raw.parse::<f64>().ok()) {
+                Some(rate) if rate.is_finite() && rate > 0.0 => config.rate = Some(rate),
+                _ => return usage("--rate needs a positive requests/second value"),
+            },
+            "--duration" => match args.next().and_then(|raw| raw.parse::<f64>().ok()) {
+                Some(s) if s.is_finite() && s > 0.0 => config.duration_s = s,
+                _ => return usage("--duration needs a positive seconds value"),
+            },
+            "--connections" => match args.next().and_then(|raw| raw.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.connections = n,
+                _ => return usage("--connections needs a count of at least 1"),
+            },
+            "--seed" => match args.next().and_then(|raw| raw.parse::<u64>().ok()) {
+                Some(seed) => config.seed = seed,
+                None => return usage("--seed needs a non-negative integer"),
+            },
+            "--no-keepalive" => config.keep_alive = false,
+            "--label" => match args.next() {
+                Some(label) => config.label = label,
+                None => return usage("--label needs a name"),
+            },
+            "--slo" => match args.next() {
+                Some(path) => config.slo_path = path.into(),
+                None => return usage("--slo needs a path"),
+            },
+            "--scenarios" => match args.next() {
+                Some(path) => config.scenarios_dir = path.into(),
+                None => return usage("--scenarios needs a path"),
+            },
+            "--report" => match args.next() {
+                Some(path) => config.report_path = Some(path.into()),
+                None => return usage("--report needs a path"),
+            },
+            "--bench" => match args.next() {
+                Some(path) => config.bench_path = Some(path.into()),
+                None => return usage("--bench needs a path"),
+            },
+            "--check" => config.check = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    match gsu_bench::loadgen::run(&config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("gsu-bench loadgen: {e}");
             ExitCode::from(2)
         }
     }

@@ -14,6 +14,7 @@ use std::path::Path;
 
 use performability::{GsuAnalysis, PerfError, SweepPoint};
 
+pub mod loadgen;
 pub mod profile;
 pub mod regress;
 pub mod scenarios;

@@ -15,7 +15,8 @@
 //! | `GET /eval?phi=…`   | a span-instrumented `Y(φ)` evaluation, as JSON              |
 //! | `GET /eval?phi=…&mu_new=…` | the same with paper-parameter overrides, memoized per params fingerprint |
 //! | `GET /eval?scenario=…&phi=…` | the same against a named `.gsu` catalog scenario   |
-//! | `GET /requests`     | recent `/eval` wide-event lines (JSONL, newest last)        |
+//! | `GET /requests`     | recent `/eval` wide-event lines (JSONL, newest last; `?n=` limits) |
+//! | `GET /stats`        | windowed per-route latency quantiles and SLO attainment     |
 //! | `GET /version`      | build identity (crate version, git hash, profile)           |
 //! | `GET /`             | a plain-text endpoint index                                 |
 //!
@@ -35,26 +36,49 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod slo;
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gsu_scenario::{ScenarioAnalysis, ScenarioSpec};
 use performability::{GsuAnalysis, GsuParams, SweepPoint};
-use telemetry::{ArgValue, Collector, FinishedSpan, Level, TraceContext};
+use telemetry::{ArgValue, Collector, FinishedSpan, Level, TraceContext, WindowHistogram};
 
 use http::{fmt_f64, json_escape, Request, Response};
 
 /// Default number of connection-handling pool workers.
 pub const DEFAULT_WORKERS: usize = 4;
 
-/// How many `/eval` wide-event lines the in-memory ring retains.
-pub const REQUEST_LOG_CAP: usize = 256;
+/// Default size of the `/eval` wide-event ring served by `/requests`;
+/// override with the [`REQUEST_LOG_CAP_ENV`] environment variable.
+pub const DEFAULT_REQUEST_LOG_CAP: usize = 256;
+
+/// Environment variable overriding [`DEFAULT_REQUEST_LOG_CAP`] (read once at
+/// [`Server::bind`] through the sanctioned `telemetry::env_usize` path).
+pub const REQUEST_LOG_CAP_ENV: &str = "GSU_REQUEST_LOG_CAP";
+
+/// Route families tracked by per-route sliding-window latency histograms;
+/// any other path lands in [`OTHER_ROUTE`].
+pub const WINDOW_ROUTES: &[&str] = &[
+    "/",
+    "/eval",
+    "/healthz",
+    "/metrics",
+    "/readyz",
+    "/requests",
+    "/stats",
+    "/trace",
+    "/version",
+];
+
+/// Window-histogram family for paths outside [`WINDOW_ROUTES`].
+pub const OTHER_ROUTE: &str = "other";
 
 struct ServerState {
     analysis: GsuAnalysis,
@@ -63,6 +87,21 @@ struct ServerState {
     ready: AtomicBool,
     shutdown: AtomicBool,
     lint_findings: PathBuf,
+    /// Capacity of the `/requests` ring (default, or `GSU_REQUEST_LOG_CAP`).
+    request_log_cap: usize,
+    /// Committed serving SLOs (`results/SLO.json`), when present.
+    slo: Option<slo::SloDoc>,
+    /// Per-route sliding-window latency histograms (µs); keys are
+    /// [`WINDOW_ROUTES`] plus [`OTHER_ROUTE`]. Routes under an SLO get its
+    /// threshold as the window's "good" bound, so `/stats` attainment is
+    /// counted exactly per request.
+    windows: BTreeMap<&'static str, WindowHistogram>,
+    /// Connections accepted since start.
+    accepted: AtomicU64,
+    /// Connections handed to the pool but not yet picked up by a worker.
+    queue_depth: AtomicU64,
+    /// Connections currently inside a handler.
+    inflight: AtomicU64,
     /// Hex fingerprint of the served [`GsuParams`], stamped into every
     /// wide-event line so a log mixes runs against different parameter
     /// assignments detectably.
@@ -122,6 +161,29 @@ impl Server {
         let params = GsuParams::paper_baseline();
         let analysis = GsuAnalysis::new(params)
             .map_err(|e| std::io::Error::other(format!("building GsuAnalysis: {e}")))?;
+        // A missing SLO file just disables attainment reporting; a present
+        // but malformed one fails bind (same policy as the scenario
+        // catalog: never serve against a silently broken committed file).
+        let slo_doc = if Path::new(slo::SLO_PATH).is_file() {
+            Some(slo::load_slo(Path::new(slo::SLO_PATH)).map_err(std::io::Error::other)?)
+        } else {
+            None
+        };
+        let window_secs = slo_doc
+            .as_ref()
+            .map_or(telemetry::DEFAULT_WINDOW_SECS, |d| d.window_s);
+        let windows = WINDOW_ROUTES
+            .iter()
+            .chain(std::iter::once(&OTHER_ROUTE))
+            .map(|&route| {
+                let bound_us = slo_doc
+                    .as_ref()
+                    .and_then(|d| d.for_endpoint(route))
+                    .map(|s| s.threshold_ms * 1000.0);
+                (route, WindowHistogram::new(window_secs, bound_us))
+            })
+            .collect();
+        let request_log_cap = telemetry::env_usize(REQUEST_LOG_CAP_ENV, DEFAULT_REQUEST_LOG_CAP);
         let state = Arc::new(ServerState {
             analysis,
             collector,
@@ -129,8 +191,14 @@ impl Server {
             ready: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             lint_findings: PathBuf::from(LINT_FINDINGS_PATH),
+            request_log_cap,
+            slo: slo_doc,
+            windows,
+            accepted: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
             params_fingerprint: params_fingerprint(&params),
-            requests: Mutex::new(VecDeque::with_capacity(REQUEST_LOG_CAP)),
+            requests: Mutex::new(VecDeque::with_capacity(request_log_cap.min(1024))),
             scenarios: Mutex::new(BTreeMap::new()),
             scenario_cache: Mutex::new(HashMap::new()),
             analysis_cache: Mutex::new(HashMap::new()),
@@ -208,7 +276,9 @@ impl Server {
                     break;
                 }
                 if let Ok(stream) = conn {
-                    handle_connection(&state, stream);
+                    state.accepted.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("serve.connections.accepted", 1);
+                    handle_connection(&state, stream, Instant::now());
                 }
             }
             return;
@@ -223,8 +293,21 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                state.accepted.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.connections.accepted", 1);
+                // Queue depth counts connections spawned onto the pool but
+                // not yet picked up by a worker; the handler decrements it
+                // as its first act, and the accept timestamp rides along so
+                // that wait becomes the first request's queueing time.
+                let depth = state.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                telemetry::gauge("serve.queue_depth", depth as f64);
+                let accepted_at = Instant::now();
                 let state = state.clone();
-                scope.spawn(move || handle_connection(&state, stream));
+                scope.spawn(move || {
+                    let depth = state.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                    telemetry::gauge("serve.queue_depth", depth as f64);
+                    handle_connection(&state, stream, accepted_at);
+                });
             }
         });
     }
@@ -258,43 +341,104 @@ impl ServerHandle {
     }
 }
 
-fn handle_connection(state: &ServerState, mut stream: TcpStream) {
-    let start = Instant::now();
-    // Every request runs under its own root trace context: spans recorded
-    // while routing (the eval span and the solver spans inside it) share the
-    // request's trace id, and the latency histogram observed below captures
-    // that id as its exemplar.
-    let ctx = TraceContext::new_root();
-    let _attached = ctx.attach();
-    let (response, path) = match http::read_request(&mut stream) {
-        Ok(request) => {
-            let path = request.path.clone();
-            (route(state, &request), path)
+/// Serves one connection: up to [`http::KEEPALIVE_MAX_REQUESTS`] sequential
+/// requests when the client asks for keep-alive, one otherwise.
+///
+/// `accepted_at` is when the accept loop saw the connection; the gap to the
+/// first `read_request` is the request's *queueing* time (waiting for a pool
+/// worker), split out from service time in the wide events and added to the
+/// latency the windowed histograms observe — a saturated pool must show up
+/// in the served quantiles, not hide between accept and handler.
+fn handle_connection(state: &ServerState, mut stream: TcpStream, accepted_at: Instant) {
+    let inflight = state.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    telemetry::gauge("serve.inflight", inflight as f64);
+    // Responses are written as a handful of small segments; with Nagle on,
+    // the tail segments wait out the peer's delayed ACK (~40ms) on every
+    // keep-alive exchange, which would dwarf the real service time.
+    let _ = stream.set_nodelay(true);
+    let mut queue_us = accepted_at.elapsed().as_micros() as u64;
+    for served in 0..http::KEEPALIVE_MAX_REQUESTS {
+        // Every request runs under its own root trace context: spans
+        // recorded while routing (the eval span and the solver spans inside
+        // it) share the request's trace id, and the latency histogram
+        // observed below captures that id as its exemplar.
+        let ctx = TraceContext::new_root();
+        let _attached = ctx.attach();
+        let (request, path) = match http::read_request(&mut stream, served == 0) {
+            Ok(Some(request)) => {
+                let path = request.path.clone();
+                (Some(request), path)
+            }
+            // Clean EOF: the client is done with the connection.
+            Ok(None) => break,
+            Err(e) => match e.kind() {
+                // An idle keep-alive client timing out (or vanishing)
+                // between requests is the normal end of a persistent
+                // connection, not a reportable request.
+                std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::UnexpectedEof
+                    if served > 0 =>
+                {
+                    break
+                }
+                _ => (None, String::from("<unparsed>")),
+            },
+        };
+        // The service clock starts once the request is in hand: on a
+        // keep-alive connection the read above blocks for the client's
+        // *next* request, and that idle gap is not service time.
+        let start = Instant::now();
+        // Close after this response unless the client asked to keep the
+        // connection and the per-connection budget allows another request.
+        let close = request.as_ref().is_none_or(|r| !r.keep_alive)
+            || served + 1 == http::KEEPALIVE_MAX_REQUESTS;
+        let response = match &request {
+            Some(request) => route(state, request, queue_us),
+            None => Response::text(400, "bad request: malformed request line\n"),
+        };
+        let write_ok = http::write_response(&mut stream, &response, close).is_ok();
+        let service_us = start.elapsed().as_micros() as u64;
+        let total_us = queue_us + service_us;
+        telemetry::counter("serve.requests", 1);
+        telemetry::counter(&format!("serve.status.{}", response.status), 1);
+        telemetry::counter(&format!("http.responses.{}", response.status), 1);
+        telemetry::observe("serve.request_us", total_us as f64);
+        window_for(state, &path).record(total_us as f64);
+        telemetry::log_event(
+            Level::Info,
+            "serve",
+            "request",
+            &[
+                ("path", ArgValue::Str(path)),
+                ("status", ArgValue::U64(u64::from(response.status))),
+                ("dur_us", ArgValue::U64(total_us)),
+                ("queue_us", ArgValue::U64(queue_us)),
+            ],
+        );
+        if close || !write_ok || request.is_none() {
+            break;
         }
-        Err(e) => (
-            Response::text(400, format!("bad request: {e}\n")),
-            String::from("<unparsed>"),
-        ),
-    };
-    let _ = http::write_response(&mut stream, &response);
-    let dur_us = start.elapsed().as_micros() as u64;
-    telemetry::counter("serve.requests", 1);
-    telemetry::counter(&format!("serve.status.{}", response.status), 1);
-    telemetry::counter(&format!("http.responses.{}", response.status), 1);
-    telemetry::observe("serve.request_us", dur_us as f64);
-    telemetry::log_event(
-        Level::Info,
-        "serve",
-        "request",
-        &[
-            ("path", ArgValue::Str(path)),
-            ("status", ArgValue::U64(u64::from(response.status))),
-            ("dur_us", ArgValue::U64(dur_us)),
-        ],
-    );
+        // Follow-up requests on this connection start service the moment
+        // their bytes are read; only the first one waited for a worker.
+        queue_us = 0;
+    }
+    let inflight = state.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+    telemetry::gauge("serve.inflight", inflight as f64);
 }
 
-fn route(state: &ServerState, request: &Request) -> Response {
+/// The sliding-window histogram tracking `path` (exact match on the known
+/// route families, [`OTHER_ROUTE`] otherwise).
+fn window_for<'a>(state: &'a ServerState, path: &str) -> &'a WindowHistogram {
+    state
+        .windows
+        .get(path)
+        .or_else(|| state.windows.get(OTHER_ROUTE))
+        .unwrap_or_else(|| unreachable!("the `other` window family always exists"))
+}
+
+fn route(state: &ServerState, request: &Request, queue_us: u64) -> Response {
     if request.method != "GET" {
         return Response::text(405, "only GET is served\n");
     }
@@ -312,6 +456,7 @@ fn route(state: &ServerState, request: &Request) -> Response {
             let mut body = state.collector.snapshot().prometheus_text();
             body.push_str(&build_info_exposition());
             body.push_str(&lint_exposition(&state.lint_findings));
+            body.push_str(&window_exposition(state));
             Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
@@ -331,11 +476,30 @@ fn route(state: &ServerState, request: &Request) -> Response {
                 ),
             },
         },
-        "/eval" => eval(state, request),
+        "/eval" => eval(state, request, queue_us),
         "/requests" => {
+            // `?n=` limits the response to the newest n lines; bad values
+            // get the same structured 400 shape as /eval's parameter
+            // failures.
+            let limit = match request.query_value("n") {
+                None => None,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        return Response::json(
+                            400,
+                            format!(
+                                "{{\"error\":\"unparsable n: {}\",\"param\":\"n\"}}",
+                                json_escape(raw)
+                            ),
+                        )
+                    }
+                },
+            };
             let ring = state.requests.lock().unwrap_or_else(|e| e.into_inner());
+            let skip = limit.map_or(0, |n| ring.len().saturating_sub(n));
             let mut body = String::new();
-            for line in ring.iter() {
+            for line in ring.iter().skip(skip) {
                 body.push_str(line);
                 body.push('\n');
             }
@@ -345,6 +509,7 @@ fn route(state: &ServerState, request: &Request) -> Response {
                 body,
             }
         }
+        "/stats" => Response::json(200, stats_json(state)),
         "/version" => Response::json(200, version_json()),
         "/" => Response::text(
             200,
@@ -356,14 +521,15 @@ fn route(state: &ServerState, request: &Request) -> Response {
              GET /eval?phi=N evaluate the performability index Y(phi)\n\
              GET /eval?phi=N&mu_new=V&coverage=V&theta=V  the same with paper-parameter overrides (memoized per assignment)\n\
              GET /eval?scenario=NAME&phi=N  the same for a .gsu catalog scenario\n\
-             GET /requests   recent /eval wide-event lines (JSONL)\n\
+             GET /requests   recent /eval wide-event lines (JSONL; ?n=K for the newest K)\n\
+             GET /stats      windowed latency quantiles and SLO attainment\n\
              GET /version    build identity\n",
         ),
         _ => Response::text(404, "no such route\n"),
     }
 }
 
-fn eval(state: &ServerState, request: &Request) -> Response {
+fn eval(state: &ServerState, request: &Request, queue_us: u64) -> Response {
     let started = Instant::now();
     let trace_id = TraceContext::current().trace_id;
     let scenario_name = request.query_value("scenario").map(str::to_string);
@@ -379,6 +545,7 @@ fn eval(state: &ServerState, request: &Request) -> Response {
             400,
             None,
             started.elapsed(),
+            queue_us,
             Some(msg),
         );
         Response::json(
@@ -463,6 +630,7 @@ fn eval(state: &ServerState, request: &Request) -> Response {
                 200,
                 Some(point.y),
                 started.elapsed(),
+                queue_us,
                 None,
             );
             let mut body = format!(
@@ -587,9 +755,15 @@ fn scenario_analysis(
 }
 
 /// Builds the canonical wide-event line for one `/eval` request — trace id,
-/// parameter fingerprint, outcome, per-phase wall breakdown, and the
-/// flight-recorder diagnostics of every solve the request ran — and appends
-/// it to the bounded `/requests` ring.
+/// parameter fingerprint, outcome, the queueing-time vs service-time split,
+/// per-phase wall breakdown, and the flight-recorder diagnostics of every
+/// solve the request ran — and appends it to the bounded `/requests` ring.
+///
+/// `wall` is pure *service* time (request read to response written);
+/// `queue_us` is how long the connection waited for a pool worker before
+/// service began (0 for keep-alive follow-ups). `wall_us` stays the service
+/// wall for compatibility; `service_us` spells the same value explicitly
+/// next to `queue_us`.
 #[allow(clippy::too_many_arguments)]
 fn record_wide_event(
     state: &ServerState,
@@ -599,15 +773,18 @@ fn record_wide_event(
     status: u16,
     y: Option<f64>,
     wall: std::time::Duration,
+    queue_us: u64,
     error: Option<&str>,
 ) {
     let spans = state.collector.trace_spans(trace_id);
     let mut line = format!(
         "{{\"schema\":\"gsu-wide-event-v1\",\"trace_id\":\"{}\",\"params\":\"{}\",\
-         \"phi\":{},\"status\":{status},\"wall_us\":{}",
+         \"phi\":{},\"status\":{status},\"wall_us\":{},\"queue_us\":{queue_us},\
+         \"service_us\":{}",
         telemetry::format_trace_id(trace_id),
         state.params_fingerprint,
         phi.map_or_else(|| "null".to_string(), fmt_f64),
+        wall.as_micros(),
         wall.as_micros()
     );
     if let Some(scenario) = scenario {
@@ -650,7 +827,10 @@ fn record_wide_event(
     line.push_str("]}");
 
     let mut ring = state.requests.lock().unwrap_or_else(|e| e.into_inner());
-    if ring.len() == REQUEST_LOG_CAP {
+    if state.request_log_cap == 0 {
+        return; // ring disabled via GSU_REQUEST_LOG_CAP=0
+    }
+    while ring.len() >= state.request_log_cap {
         ring.pop_front();
     }
     ring.push_back(line);
@@ -782,6 +962,115 @@ pub fn lint_exposition(path: &Path) -> String {
             let _ = writeln!(out, "# gsu-lint findings file invalid: {e}");
         }
     }
+    out
+}
+
+/// The recent-window exposition block appended to `/metrics`: per-route
+/// latency quantiles over the sliding window, under `gsu_serve_window_*`
+/// family names disjoint from the cumulative `*_alltime_*` gauges so
+/// dashboards cannot mistake one for the other. Routes with no traffic in
+/// the window are omitted; an entirely idle window contributes nothing.
+fn window_exposition(state: &ServerState) -> String {
+    let snaps: Vec<(&str, telemetry::WindowSnapshot)> = state
+        .windows
+        .iter()
+        .map(|(route, w)| (*route, w.snapshot()))
+        .filter(|(_, s)| s.count > 0)
+        .collect();
+    let Some((_, first)) = snaps.first() else {
+        return String::new();
+    };
+    let mut out = format!(
+        "# HELP gsu_serve_window_seconds Width of the sliding latency window.\n\
+         # TYPE gsu_serve_window_seconds gauge\n\
+         gsu_serve_window_seconds {}\n",
+        first.window_secs
+    );
+    for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)] {
+        let _ = writeln!(out, "# TYPE gsu_serve_window_request_us_{suffix} gauge");
+        for (route, snap) in &snaps {
+            let _ = writeln!(
+                out,
+                "gsu_serve_window_request_us_{suffix}{{route=\"{route}\"}} {}",
+                snap.quantile(q)
+            );
+        }
+    }
+    let _ = writeln!(out, "# TYPE gsu_serve_window_request_total gauge");
+    for (route, snap) in &snaps {
+        let _ = writeln!(
+            out,
+            "gsu_serve_window_request_total{{route=\"{route}\"}} {}",
+            snap.count
+        );
+    }
+    out
+}
+
+/// The `/stats` response: windowed per-route latency quantiles plus, when
+/// `results/SLO.json` was loaded, per-endpoint SLO attainment and burn rate.
+///
+/// Burn rate is the error-budget spend ratio `(1 - attainment) / (1 -
+/// target)`: 1.0 means failures arrive exactly as fast as the SLO tolerates,
+/// above 1.0 the budget is burning down. Endpoints with no traffic in the
+/// window report `null` attainment/burn and count as (vacuously) met.
+fn stats_json(state: &ServerState) -> String {
+    let window_secs = window_for(state, OTHER_ROUTE).window_secs();
+    let mut out = format!(
+        "{{\"schema\":\"gsu-stats-v1\",\"uptime_s\":{},\"window_s\":{window_secs},\
+         \"connections\":{{\"accepted\":{},\"queue_depth\":{},\"inflight\":{}}},\"routes\":[",
+        fmt_f64(state.start.elapsed().as_secs_f64()),
+        state.accepted.load(Ordering::Relaxed),
+        state.queue_depth.load(Ordering::Relaxed),
+        state.inflight.load(Ordering::Relaxed),
+    );
+    let mut first = true;
+    for (route, window) in &state.windows {
+        let snap = window.snapshot();
+        if snap.count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"route\":\"{route}\",\"count\":{},\"mean_us\":{},\"p50_us\":{},\
+             \"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
+            snap.count,
+            fmt_f64(snap.mean()),
+            fmt_f64(snap.quantile(0.50)),
+            fmt_f64(snap.quantile(0.90)),
+            fmt_f64(snap.quantile(0.99)),
+            fmt_f64(snap.quantile(0.999)),
+            fmt_f64(snap.max),
+        );
+    }
+    out.push_str("],\"slos\":[");
+    if let Some(doc) = &state.slo {
+        for (i, def) in doc.slos.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let snap = window_for(state, &def.endpoint).snapshot();
+            let attainment = snap.attainment();
+            let burn = attainment.map(|a| (1.0 - a) / (1.0 - def.target));
+            let met = attainment.is_none_or(|a| a >= def.target);
+            let _ = write!(
+                out,
+                "{{\"endpoint\":\"{}\",\"threshold_ms\":{},\"target\":{},\"count\":{},\
+                 \"attainment\":{},\"burn_rate\":{},\"met\":{met}}}",
+                json_escape(&def.endpoint),
+                fmt_f64(def.threshold_ms),
+                fmt_f64(def.target),
+                snap.count,
+                attainment.map_or_else(|| "null".to_string(), fmt_f64),
+                burn.map_or_else(|| "null".to_string(), fmt_f64),
+            );
+        }
+    }
+    out.push_str("]}");
     out
 }
 

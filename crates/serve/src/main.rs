@@ -159,7 +159,15 @@ fn smoke(collector: Arc<Collector>, workers: usize) -> ExitCode {
         validate_exposition(body)?;
         body.contains("gsu_build_info{")
             .then_some(())
-            .ok_or_else(|| "gsu_build_info missing".to_string())
+            .ok_or_else(|| "gsu_build_info missing".to_string())?;
+        // Earlier probes served requests, so both the cumulative (_alltime)
+        // and the recent-window latency families must be present.
+        body.contains("gsu_serve_request_us_alltime_p50 ")
+            .then_some(())
+            .ok_or_else(|| "gsu_serve_request_us_alltime_p50 missing".to_string())?;
+        body.contains("gsu_serve_window_request_us_p99{route=")
+            .then_some(())
+            .ok_or_else(|| "gsu_serve_window_request_us_p99 missing".to_string())
     });
     check("/trace", 200, &|body| {
         body.starts_with("{\"traceEvents\":")
@@ -167,6 +175,21 @@ fn smoke(collector: Arc<Collector>, workers: usize) -> ExitCode {
             .ok_or_else(|| "not a trace_event document".to_string())
     });
     check("/trace?id=zzz", 400, &|_| Ok(()));
+    check("/stats", 200, &|body| {
+        (body.contains("\"schema\":\"gsu-stats-v1\"") && body.contains("\"routes\":["))
+            .then_some(())
+            .ok_or_else(|| body.to_string())
+    });
+    check("/requests?n=1", 200, &|body| {
+        (body.lines().count() <= 1)
+            .then_some(())
+            .ok_or_else(|| "more than one line with n=1".to_string())
+    });
+    check("/requests?n=bogus", 400, &|body| {
+        body.contains("\"param\":\"n\"")
+            .then_some(())
+            .ok_or_else(|| body.to_string())
+    });
     check("/version", 200, &|body| {
         body.contains("\"name\":\"gsu-serve\"")
             .then_some(())

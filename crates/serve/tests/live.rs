@@ -166,6 +166,17 @@ fn serves_live_metrics_during_a_sweep() {
         line.contains("\"solves\":[{") && line.contains("\"iterations\":"),
         "wide event without solver iterations: {line}"
     );
+    // The queueing-time vs service-time split is spelled out per event.
+    assert!(line.contains("\"queue_us\":"), "{line}");
+    assert!(line.contains("\"service_us\":"), "{line}");
+
+    // /requests?n= limits to the newest lines; bad values 400 structurally.
+    let (status, limited) = http_get(addr, "/requests?n=1").expect("/requests?n=1");
+    assert_eq!(status, 200);
+    assert_eq!(limited.lines().count(), 1, "{limited}");
+    let (status, body) = http_get(addr, "/requests?n=-3").expect("/requests bad n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"param\":\"n\""), "{body}");
 
     // /version and the build-info gauge agree on the crate version.
     let (status, version) = http_get(addr, "/version").expect("/version");
@@ -177,6 +188,40 @@ fn serves_live_metrics_during_a_sweep() {
         metrics.contains("gsu_http_responses_total{status=\"200\"}"),
         "{metrics}"
     );
+    // Cumulative quantile gauges carry the _alltime marker; the windowed
+    // families live under distinct gsu_serve_window_* names with a route
+    // label, so the two cannot be confused.
+    assert!(
+        metrics.contains("gsu_serve_request_us_alltime_p50 "),
+        "{metrics}"
+    );
+    assert!(
+        !metrics.contains("gsu_serve_request_us_p50 "),
+        "unmarked cumulative quantile gauge: {metrics}"
+    );
+    for suffix in ["p50", "p90", "p99", "p999"] {
+        assert!(
+            metrics.contains(&format!("gsu_serve_window_request_us_{suffix}{{route=")),
+            "windowed {suffix} family missing: {metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("gsu_serve_window_request_total{route=\"/metrics\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("gsu_serve_inflight"), "{metrics}");
+    assert!(
+        metrics.contains("gsu_serve_connections_accepted"),
+        "{metrics}"
+    );
+
+    // /stats renders the same windowed quantiles as JSON.
+    let (status, stats) = http_get(addr, "/stats").expect("/stats");
+    assert_eq!(status, 200);
+    assert!(stats.starts_with("{\"schema\":\"gsu-stats-v1\""), "{stats}");
+    assert!(stats.contains("\"connections\":{\"accepted\":"), "{stats}");
+    assert!(stats.contains("\"route\":\"/metrics\""), "{stats}");
+    assert!(stats.contains("\"p999_us\":"), "{stats}");
 
     // Error handling: missing, unparsable, and out-of-domain φ all produce
     // structured bodies naming the offending parameter.

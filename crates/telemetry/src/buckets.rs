@@ -1,0 +1,107 @@
+//! Shared fixed log₁₀ bucket layout used by both the cumulative
+//! [`Collector`](crate::Collector) histograms and the sliding-window
+//! [`WindowHistogram`](crate::WindowHistogram).
+//!
+//! One bucket per power of ten between `1e-15` and `1e15`, plus an
+//! underflow and an overflow bucket. Quantiles are estimated by geometric
+//! interpolation inside the bucket holding the target rank, clamped to the
+//! observed `[min, max]` — which makes single-valued histograms exact and
+//! bounds the relative error of any estimate by one decade.
+
+/// Number of fixed histogram buckets.
+pub(crate) const BUCKETS: usize = 33;
+pub(crate) const MIN_EXP: i32 = -16; // bucket 0 holds values <= 1e-15 (incl. <= 0)
+
+pub(crate) fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= 0.0 {
+        return 0;
+    }
+    if value.is_infinite() {
+        return BUCKETS - 1;
+    }
+    let exp = value.log10().floor() as i32;
+    (exp - MIN_EXP).clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+/// Upper bound (`le`) of bucket `i`, for export.
+pub(crate) fn bucket_bound(i: usize) -> f64 {
+    if i == BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        10f64.powi(MIN_EXP + i as i32 + 1)
+    }
+}
+
+/// Estimates the `q`-quantile from the fixed log₁₀ buckets by geometric
+/// interpolation inside the bucket holding the target rank, clamped to the
+/// observed `[min, max]` (which makes single-valued histograms exact).
+pub(crate) fn estimate_quantile(
+    buckets: &[u64; BUCKETS],
+    count: u64,
+    min: f64,
+    max: f64,
+    q: f64,
+) -> f64 {
+    if count == 0 {
+        return f64::NAN;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let before = cum;
+        cum += c;
+        if cum >= rank {
+            let lo = if i == 0 {
+                min
+            } else {
+                bucket_bound(i - 1).max(min)
+            };
+            let hi = bucket_bound(i).min(max);
+            if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi <= lo {
+                return hi.clamp(min, max);
+            }
+            let frac = (rank - before) as f64 / c as f64;
+            return (lo * (hi / lo).powf(frac)).clamp(min, max);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_monotone_and_bounded() {
+        let mut last = 0;
+        for exp in -20..20 {
+            let v = 10f64.powi(exp) * 3.0;
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket index must be monotone in the value");
+            assert!(b < BUCKETS);
+            last = b;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_nan() {
+        let buckets: [u64; BUCKETS] = [0; BUCKETS];
+        assert!(estimate_quantile(&buckets, 0, f64::INFINITY, f64::NEG_INFINITY, 0.5).is_nan());
+    }
+
+    #[test]
+    fn bounds_cover_the_bucket_of_their_index() {
+        for i in 0..BUCKETS - 1 {
+            let le = bucket_bound(i);
+            assert_eq!(bucket_index(le * 0.99), i, "le {le} belongs to bucket {i}");
+        }
+        assert_eq!(bucket_bound(BUCKETS - 1), f64::INFINITY);
+    }
+}

@@ -23,33 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use crate::buckets::{bucket_bound, bucket_index, estimate_quantile, BUCKETS};
 use crate::json::{escape, fmt_f64};
 use crate::{ArgValue, Sink, SpanRecord};
-
-/// Number of fixed histogram buckets: one per power of ten between `1e-15`
-/// and `1e15`, plus an underflow and an overflow bucket.
-const BUCKETS: usize = 33;
-const MIN_EXP: i32 = -16; // bucket 0 holds values <= 1e-15 (incl. <= 0)
-
-fn bucket_index(value: f64) -> usize {
-    if value.is_nan() || value <= 0.0 {
-        return 0;
-    }
-    if value.is_infinite() {
-        return BUCKETS - 1;
-    }
-    let exp = value.log10().floor() as i32;
-    (exp - MIN_EXP).clamp(0, BUCKETS as i32 - 1) as usize
-}
-
-/// Upper bound (`le`) of bucket `i`, for export.
-fn bucket_bound(i: usize) -> f64 {
-    if i == BUCKETS - 1 {
-        f64::INFINITY
-    } else {
-        10f64.powi(MIN_EXP + i as i32 + 1)
-    }
-}
 
 /// An `f64` stored as bits in an `AtomicU64` (std has no `AtomicF64`).
 #[derive(Debug)]
@@ -149,38 +125,6 @@ impl AtomicHistogram {
                 .collect(),
         }
     }
-}
-
-/// Estimates the `q`-quantile from the fixed log₁₀ buckets by geometric
-/// interpolation inside the bucket holding the target rank, clamped to the
-/// observed `[min, max]` (which makes single-valued histograms exact).
-fn estimate_quantile(buckets: &[u64; BUCKETS], count: u64, min: f64, max: f64, q: f64) -> f64 {
-    if count == 0 {
-        return f64::NAN;
-    }
-    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-    let mut cum = 0u64;
-    for (i, &c) in buckets.iter().enumerate() {
-        if c == 0 {
-            continue;
-        }
-        let before = cum;
-        cum += c;
-        if cum >= rank {
-            let lo = if i == 0 {
-                min
-            } else {
-                bucket_bound(i - 1).max(min)
-            };
-            let hi = bucket_bound(i).min(max);
-            if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi <= lo {
-                return hi.clamp(min, max);
-            }
-            let frac = (rank - before) as f64 / c as f64;
-            return (lo * (hi / lo).powf(frac)).clamp(min, max);
-        }
-    }
-    max
 }
 
 /// A name → shared-atomic registry. Emitters take the read lock (shared with
@@ -724,22 +668,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_indices_are_monotone_and_bounded() {
-        let mut last = 0;
-        for exp in -20..20 {
-            let v = 10f64.powi(exp) * 3.0;
-            let b = bucket_index(v);
-            assert!(b >= last, "bucket index must be monotone in the value");
-            assert!(b < BUCKETS);
-            last = b;
-        }
-        assert_eq!(bucket_index(0.0), 0);
-        assert_eq!(bucket_index(-5.0), 0);
-        assert_eq!(bucket_index(f64::NAN), 0);
-        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
-    }
-
-    #[test]
     fn empty_collector_exports_valid_skeletons() {
         let c = Collector::new();
         let report = c.run_report_json();
@@ -792,12 +720,6 @@ mod tests {
         // The median of 1..=1000 lives in the (100, 1000] bucket; the
         // log-interpolated estimate must land inside it.
         assert!(h.p50 > 100.0 && h.p50 <= 1000.0, "p50 = {}", h.p50);
-    }
-
-    #[test]
-    fn empty_histogram_quantiles_are_nan() {
-        let buckets: [u64; BUCKETS] = [0; BUCKETS];
-        assert!(estimate_quantile(&buckets, 0, f64::INFINITY, f64::NEG_INFINITY, 0.5).is_nan());
     }
 
     #[test]

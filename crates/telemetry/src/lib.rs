@@ -38,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buckets;
 mod collector;
 mod diag;
 mod json;
 mod log;
 pub mod prometheus;
+pub mod window;
 pub mod work;
 
 use std::cell::Cell;
@@ -56,6 +58,7 @@ pub use log::{
     init_log_from_env, log_enabled, log_event, log_level, set_log_level, set_log_writer,
     take_log_writer, Level,
 };
+pub use window::{WindowHistogram, WindowSnapshot, DEFAULT_WINDOW_SECS};
 
 /// A value attached to a span as an argument.
 #[derive(Debug, Clone, PartialEq)]
@@ -435,6 +438,29 @@ pub fn init_from_env(var: &str) -> Option<Arc<Collector>> {
     match std::env::var(var) {
         Ok(v) if v == "1" => Some(Collector::install()),
         _ => None,
+    }
+}
+
+/// Reads a `usize` configuration knob from the environment variable `var`,
+/// falling back to `default` when unset or unparsable (an unparsable value
+/// also emits a telemetry warning so the misconfiguration is visible on
+/// `/metrics` rather than silently ignored).
+///
+/// This is the sanctioned configuration path for library crates: the
+/// workspace lint bans direct `std::env` access outside this crate, so knobs
+/// like `GSU_REQUEST_LOG_CAP` must be read through here.
+pub fn env_usize(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => {
+                warning(&format!(
+                    "ignoring {var}={raw:?}: expected a non-negative integer, using {default}"
+                ));
+                default
+            }
+        },
+        Err(_) => default,
     }
 }
 

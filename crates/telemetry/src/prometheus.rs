@@ -9,9 +9,11 @@
 //! * counters and gauges export as single samples of the matching type;
 //! * histograms export as native Prometheus histograms — cumulative
 //!   `_bucket{le="…"}` samples (ending in `le="+Inf"`), `_sum`, and
-//!   `_count` — plus `_p50` / `_p95` / `_p99` gauges carrying the same
-//!   bucket-estimated quantiles the JSON run report publishes, so the two
-//!   surfaces agree by construction;
+//!   `_count` — plus `_alltime_p50` / `_alltime_p95` / `_alltime_p99`
+//!   gauges carrying the same bucket-estimated quantiles the JSON run
+//!   report publishes, so the two surfaces agree by construction (the
+//!   `_alltime` marker distinguishes these cumulative since-process-start
+//!   quantiles from the recent-window families rendered by `gsu-serve`);
 //! * span aggregates export as `gsu_span_*{span="<name>"}` families.
 //!
 //! Warnings have no numeric representation and stay in the JSON report.
@@ -74,9 +76,12 @@ pub fn render(snapshot: &Snapshot) -> String {
                 fmt_value(value)
             );
         }
+        // Quantiles from the cumulative (since process start) buckets carry
+        // an explicit `_alltime` marker so dashboards cannot mistake them
+        // for the recent-window families the serving layer exposes.
         for (suffix, q) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
-            let _ = writeln!(out, "# TYPE {metric}_{suffix} gauge");
-            let _ = writeln!(out, "{metric}_{suffix} {}", fmt_value(q));
+            let _ = writeln!(out, "# TYPE {metric}_alltime_{suffix} gauge");
+            let _ = writeln!(out, "{metric}_alltime_{suffix} {}", fmt_value(q));
         }
     }
 
@@ -193,7 +198,11 @@ mod tests {
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
         assert!(text.contains("gsu_h_sum 105.5"));
         assert!(text.contains("gsu_h_count 4"));
-        assert!(text.contains("gsu_h_p50 "));
+        assert!(text.contains("gsu_h_alltime_p50 "));
+        assert!(
+            !text.contains("gsu_h_p50 "),
+            "cumulative quantiles must carry the _alltime marker: {text}"
+        );
     }
 
     #[test]

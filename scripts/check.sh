@@ -84,6 +84,47 @@ wait "$SERVE_PID" 2>/dev/null || true
 # through the real TCP stack, with or without curl present.
 target/release/gsu-serve smoke --workers 2
 
+# Serving-SLO gate: boot the daemon from the workspace root (so the
+# committed SLO.json and scenario catalog load), drive it with the seeded
+# open-loop workload at the SLO's pinned rate, and gate on attainment,
+# report shape, and client-vs-/stats quantile agreement. A closed-loop
+# pass and a no-keepalive pass ride along to quantify capacity and the
+# keep-alive win; only the open-loop keep-alive run feeds the ratchet.
+echo "==> gsu-bench loadgen --check"
+SERVE_LOG="$(mktemp)"
+LOADGEN_DIR="$(mktemp -d)"
+target/release/gsu-serve --addr 127.0.0.1:0 --workers 2 > "$SERVE_LOG" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SERVE_LOG"; rm -rf "$LOADGEN_DIR"' EXIT
+SERVE_ADDR=""
+for _ in $(seq 1 50); do
+    SERVE_ADDR="$(sed -n 's#^gsu-serve listening on http://\(.*\)$#\1#p' "$SERVE_LOG")"
+    [ -n "$SERVE_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$SERVE_ADDR" ] || { echo "gsu-serve never reported its address"; exit 1; }
+target/release/gsu-bench loadgen --addr "$SERVE_ADDR" --mode open --duration 5 \
+    --label open --report "$LOADGEN_DIR/loadgen-open.json" \
+    --bench results/BENCH_serve.json --check
+target/release/gsu-bench loadgen --addr "$SERVE_ADDR" --mode closed --duration 2 \
+    --report "$LOADGEN_DIR/loadgen-closed.json"
+target/release/gsu-bench loadgen --addr "$SERVE_ADDR" --mode open --duration 2 \
+    --no-keepalive --report "$LOADGEN_DIR/loadgen-nokeepalive.json"
+if command -v curl > /dev/null; then
+    curl -fsS "http://$SERVE_ADDR/stats" | grep -q '"schema":"gsu-stats-v1"'
+    curl -fsS "http://$SERVE_ADDR/stats" | grep -q '"slos":\[{"endpoint":"/eval"'
+fi
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
+# Serving-latency ratchet: the open-loop quantiles the loadgen gate just
+# measured must stay within 2x of the committed baseline (latency on a
+# shared CI box is noisy, hence the wide threshold; the SLO attainment
+# check above is the tight gate).
+echo "==> gsu-bench regress (serve latency)"
+target/release/gsu-bench regress --baseline results/BENCH_serve_baseline.json \
+    --current results/BENCH_serve.json --threshold 1.0 --no-update
+
 # Flight-recorder round trip: a telemetry-enabled fig9 run must produce a
 # Chrome trace that gsu-bench profile can rebuild into folded flamegraph
 # stacks (`path;to;span N`) and a per-span self-time table.
