@@ -1,0 +1,36 @@
+//! Seeded violations for the symbol-layer rule families. Linted as if it
+//! lived in a result-affecting library crate, each deny rule below fires
+//! exactly once; the self-test pins the multiset and the exact positions.
+//! (Like the other fixtures this file is reference material, not compiled
+//! into the crate.)
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// `hash-iteration`: summing over `values()` folds in hash order — fine
+/// for a commutative sum of exact integers, fatal for floats, and the lint
+/// cannot tell the difference, so the iteration itself is the finding.
+fn hash_iteration(scores: &HashMap<u32, f64>) -> f64 {
+    scores.values().sum()
+}
+
+/// `wall-clock`: reading a clock in a numeric crate makes the result a
+/// function of the machine, not the model.
+fn wall_clock_read() -> Instant {
+    Instant::now()
+}
+
+/// `thread-id`: branching on worker identity is schedule-dependence.
+fn thread_id_logic() -> u64 {
+    let id = std::thread::current().id();
+    format!("{id:?}").len() as u64
+}
+
+/// `guard-across-spawn`: the tasks may need `shared` on another worker.
+fn guard_across_spawn(workers: &pool::Pool, shared: &std::sync::Mutex<Vec<f64>>) {
+    let guard = shared.lock();
+    workers.scope(|scope| {
+        scope.spawn(|| {});
+    });
+    drop(guard);
+}

@@ -1,0 +1,427 @@
+//! Concurrency rules over the symbol table: `guard-across-spawn`,
+//! `blocking-io-handler`, and `lock-order-inversion`.
+//!
+//! All three rules reason about **guard windows**: a `let g = ….lock()` (or
+//! `.read()`, `.write()`, `lock_unpoisoned(…)`) binding opens a window that
+//! closes at the end of its enclosing block or at an explicit `drop(g)`.
+//! Unbound acquisitions (`lock_unpoisoned(&m).push(x)`) are temporaries —
+//! their guard dies at the end of the statement and opens no window.
+//!
+//! * `guard-across-spawn` fires when a pool `spawn`/`map_indexed` call
+//!   occurs inside a live window: the tasks may run on other workers that
+//!   need the same lock, and whether that deadlocks depends on the
+//!   schedule.
+//! * `lock-order-inversion` collects, per crate, every ordered pair
+//!   "lock B acquired inside A's window"; if both (A, B) and (B, A) are
+//!   observed anywhere in the crate, the order is inconsistent and the
+//!   classic two-thread deadlock is schedulable.
+//! * `blocking-io-handler` is scoped to the serve crate: inside `route`/
+//!   `handle_*` functions (the per-request path), filesystem calls block
+//!   the accept loop — caches must be built at startup instead.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::symbols::{crate_key, LockPair, SymbolTable};
+
+/// One live guard window during the scan.
+struct Window {
+    /// Name the guard is bound to.
+    name: String,
+    /// Label of the locked object (receiver chain, `self.`-stripped).
+    label: String,
+    /// Brace depth at the `let`; the window dies when depth drops below.
+    depth: i64,
+}
+
+/// Runs the concurrency rules over one file, returning findings plus the
+/// lock pairs for the cross-file inversion check.
+pub fn check(table: &SymbolTable<'_>) -> (Vec<Finding>, Vec<LockPair>) {
+    let mut findings = Vec::new();
+    let mut pairs = Vec::new();
+    scan_guard_windows(table, &mut findings, &mut pairs);
+    check_blocking_io(table, &mut findings);
+    (findings, pairs)
+}
+
+/// `true` when the token at `i` begins a lock acquisition; returns the
+/// label of the locked object.
+fn acquisition_label(table: &SymbolTable<'_>, i: usize) -> Option<String> {
+    let toks = table.toks;
+    let t = &toks[i];
+    // METHOD form: RECV . lock/read/write (
+    if t.is_punct(".")
+        && toks
+            .get(i + 1)
+            .is_some_and(|m| m.is_ident("lock") || m.is_ident("read") || m.is_ident("write"))
+        && toks.get(i + 2).is_some_and(|p| p.is_punct("("))
+    {
+        return Some(receiver_label(table, i));
+    }
+    // HELPER form: lock_unpoisoned ( &? EXPR )
+    if t.is_ident("lock_unpoisoned") && toks.get(i + 1).is_some_and(|p| p.is_punct("(")) {
+        let mut label = Vec::new();
+        let mut j = i + 2;
+        let mut depth = 1i64;
+        while j < toks.len() && depth > 0 {
+            let s = &toks[j];
+            if s.is_punct("(") {
+                depth += 1;
+            } else if s.is_punct(")") {
+                depth -= 1;
+            } else if s.is_punct("[") {
+                // Stop at indexing: `&self.queues[victim]` labels `queues`.
+                break;
+            } else if s.kind == TokKind::Ident && s.text != "self" {
+                label.push(s.text.clone());
+            }
+            j += 1;
+        }
+        if !label.is_empty() {
+            return Some(label.join("."));
+        }
+    }
+    None
+}
+
+/// Label for the receiver chain ending just before the `.` at `i`:
+/// identifiers joined by `.`, `self` dropped, stopping at anything that is
+/// not a plain `ident.ident` chain (calls, indexing).
+fn receiver_label(table: &SymbolTable<'_>, i: usize) -> String {
+    let toks = table.toks;
+    let mut parts = Vec::new();
+    let mut j = i;
+    while j > 0 {
+        let prev = &toks[j - 1];
+        if prev.kind == TokKind::Ident {
+            if prev.text != "self" {
+                parts.push(prev.text.clone());
+            }
+            j -= 1;
+            if j > 0 && toks[j - 1].is_punct(".") {
+                j -= 1;
+                continue;
+            }
+        }
+        break;
+    }
+    parts.reverse();
+    if parts.is_empty() {
+        "<expr>".to_string()
+    } else {
+        parts.join(".")
+    }
+}
+
+/// Walks the token stream tracking guard windows; emits
+/// `guard-across-spawn` findings and collects lock-order pairs.
+fn scan_guard_windows(
+    table: &SymbolTable<'_>,
+    findings: &mut Vec<Finding>,
+    pairs: &mut Vec<LockPair>,
+) {
+    let toks = table.toks;
+    let crate_name = crate_key(table.rel).unwrap_or("workspace").to_string();
+    let mut windows: Vec<Window> = Vec::new();
+    let mut depth = 0i64;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            windows.retain(|w| w.depth <= depth);
+        } else if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("("))
+            && toks.get(i + 3).is_some_and(|p| p.is_punct(")"))
+        {
+            if let Some(name) = toks.get(i + 2) {
+                windows.retain(|w| w.name != name.text);
+            }
+        } else if t.is_ident("let") {
+            // let [mut] NAME = <expr with acquisition> ;  opens a window.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|n| n.kind == TokKind::Ident) {
+                let mut k = j + 1;
+                let mut stmt_depth = 0i64;
+                while k < toks.len() {
+                    let s = &toks[k];
+                    if s.is_punct("(") || s.is_punct("[") || s.is_punct("{") {
+                        stmt_depth += 1;
+                    } else if s.is_punct(")") || s.is_punct("]") || s.is_punct("}") {
+                        stmt_depth -= 1;
+                    } else if s.is_punct(";") && stmt_depth <= 0 {
+                        break;
+                    }
+                    if let Some(label) = acquisition_label(table, k) {
+                        record_pairs(table, &windows, &crate_name, &label, k, pairs);
+                        windows.push(Window {
+                            name: name.text.clone(),
+                            label,
+                            depth,
+                        });
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            i += 1;
+            continue;
+        } else if let Some(label) = acquisition_label(table, i) {
+            // Unbound acquisition: a temporary. It still orders against the
+            // live windows, but opens none itself.
+            record_pairs(table, &windows, &crate_name, &label, i, pairs);
+        }
+
+        // A spawn/map call with any guard window live is the hazard.
+        if !windows.is_empty() && table.lib_code(i) {
+            let spawnish =
+                (t.is_ident("spawn") || t.is_ident("map_indexed") || t.is_ident("try_map_indexed"))
+                    && toks.get(i + 1).is_some_and(|p| p.is_punct("("));
+            if spawnish {
+                let held: Vec<&str> = windows.iter().map(|w| w.label.as_str()).collect();
+                findings.push(Finding::new(
+                    "guard-across-spawn",
+                    table.at(i),
+                    format!(
+                        "`{}()` called while guard(s) on [{}] are live",
+                        t.text,
+                        held.join(", ")
+                    ),
+                    "drop the guard (narrow its scope or call drop(guard)) before handing \
+                     work to the pool; a worker needing the same lock deadlocks by schedule",
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Records one ordered pair per live window when a new lock is acquired.
+fn record_pairs(
+    table: &SymbolTable<'_>,
+    windows: &[Window],
+    crate_name: &str,
+    label: &str,
+    i: usize,
+    pairs: &mut Vec<LockPair>,
+) {
+    if !table.lib_code(i) {
+        return;
+    }
+    for w in windows {
+        if w.label != label {
+            pairs.push(LockPair {
+                crate_key: crate_name.to_string(),
+                first: w.label.clone(),
+                second: label.to_string(),
+                location: table.at(i),
+            });
+        }
+    }
+}
+
+/// `blocking-io-handler`: filesystem calls inside the serve crate's
+/// per-request functions (`route`, `handle_*`).
+fn check_blocking_io(table: &SymbolTable<'_>, findings: &mut Vec<Finding>) {
+    if crate_key(table.rel) != Some("serve") {
+        return;
+    }
+    let toks = table.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !table.lib_code(i) {
+            continue;
+        }
+        let handler = table
+            .parsed
+            .enclosing_fn(i)
+            .is_some_and(|f| f.name == "route" || f.name.starts_with("handle_"));
+        if !handler {
+            continue;
+        }
+        let fs_call = t.is_ident("fs") && toks.get(i + 1).is_some_and(|p| p.is_punct("::"));
+        let file_call = t.is_ident("File")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| m.is_ident("open") || m.is_ident("create"));
+        if fs_call || file_call {
+            let what = if fs_call {
+                toks.get(i + 2).map_or("fs call", |m| m.text.as_str())
+            } else {
+                "File::open"
+            };
+            findings.push(Finding::new(
+                "blocking-io-handler",
+                table.at(i),
+                format!("blocking filesystem call `{what}` inside a request handler"),
+                "read the file once at startup (or on a reload endpoint) and serve the \
+                 cached bytes; handlers must touch only memory and the socket",
+            ));
+        }
+    }
+}
+
+/// Cross-file pass: one finding per lock pair observed in both orders
+/// within a crate. Pairs are keyed order-insensitively and reported once,
+/// at the location of the lexicographically-later direction's acquisition.
+pub fn lock_order_findings(pairs: &[LockPair]) -> Vec<Finding> {
+    let mut directions: BTreeMap<(String, String, String), &LockPair> = BTreeMap::new();
+    for p in pairs {
+        directions
+            .entry((p.crate_key.clone(), p.first.clone(), p.second.clone()))
+            .or_insert(p);
+    }
+    let mut findings = Vec::new();
+    for ((krate, a, b), p) in &directions {
+        // Report each unordered pair once, from its lexicographically
+        // larger direction, so the output is deterministic.
+        if a < b {
+            continue;
+        }
+        if let Some(reverse) = directions.get(&(krate.clone(), b.clone(), a.clone())) {
+            findings.push(Finding::new(
+                "lock-order-inversion",
+                p.location.clone(),
+                format!(
+                    "crate `{krate}` acquires `{a}` then `{b}` here, but `{b}` then `{a}` at {}",
+                    reverse.location
+                ),
+                "pick one acquisition order for the two locks and use it everywhere \
+                 (document it where the locks are declared)",
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::build;
+
+    fn run(rel: &str, src: &str) -> (Vec<(String, String)>, Vec<LockPair>) {
+        let toks = lex(src);
+        let table = build(rel, &toks);
+        let (findings, pairs) = check(&table);
+        (
+            findings.into_iter().map(|f| (f.rule, f.location)).collect(),
+            pairs,
+        )
+    }
+
+    const LIB: &str = "crates/markov/src/x.rs";
+
+    #[test]
+    fn guard_across_spawn_flagged() {
+        let src = "fn f(pool: &pool::Pool, m: &std::sync::Mutex<Vec<u32>>) {\n\
+                   let guard = m.lock();\n\
+                   pool.scope(|s| { s.spawn(|| {}); });\n\
+                   drop(guard);\n\
+                   }";
+        let (got, _) = run(LIB, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "guard-across-spawn");
+    }
+
+    #[test]
+    fn dropped_guard_is_legal() {
+        let src = "fn f(pool: &pool::Pool, m: &std::sync::Mutex<Vec<u32>>) {\n\
+                   let guard = m.lock();\n\
+                   drop(guard);\n\
+                   pool.scope(|s| { s.spawn(|| {}); });\n\
+                   }";
+        let (got, _) = run(LIB, src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn scoped_guard_is_legal() {
+        let src = "fn f(pool: &pool::Pool, m: &std::sync::Mutex<Vec<u32>>) {\n\
+                   { let guard = m.lock(); guard.len(); }\n\
+                   pool.scope(|s| { s.spawn(|| {}); });\n\
+                   }";
+        let (got, _) = run(LIB, src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn temporary_acquisition_is_legal_across_spawn() {
+        // An unbound lock temporary dies at the statement end — spawning
+        // afterwards is fine.
+        let src = "fn f(pool: &pool::Pool, m: &std::sync::Mutex<Vec<u32>>) {\n\
+                   m.lock().push(1);\n\
+                   pool.scope(|s| { s.spawn(|| {}); });\n\
+                   }";
+        let (got, _) = run(LIB, src);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn map_indexed_under_guard_flagged() {
+        let src = "fn f(p: &pool::Pool, m: &std::sync::RwLock<u32>) {\n\
+                   let g = m.read();\n\
+                   let _ = p.map_indexed(vec![1], |_, x| x);\n\
+                   }";
+        let (got, _) = run(LIB, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "guard-across-spawn");
+    }
+
+    #[test]
+    fn lock_pairs_and_inversion() {
+        let src_ab = "fn f(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); }";
+        let src_ba = "fn g(a: &M, b: &M) { let h = b.lock(); let g = a.lock(); }";
+        let (_, mut pairs) = run(LIB, src_ab);
+        let (_, pairs2) = run("crates/markov/src/y.rs", src_ba);
+        pairs.extend(pairs2);
+        let findings = lock_order_findings(&pairs);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "lock-order-inversion");
+        assert!(findings[0].message.contains('`'));
+        // Consistent order across both files: no finding.
+        let (_, mut ok) = run(LIB, src_ab);
+        let (_, ok2) = run("crates/markov/src/y.rs", src_ab);
+        ok.extend(ok2);
+        assert!(lock_order_findings(&ok).is_empty());
+        // Same pair in different crates does not collide.
+        let (_, mut cross) = run(LIB, src_ab);
+        let (_, cross2) = run("crates/telemetry/src/y.rs", src_ba);
+        cross.extend(cross2);
+        assert!(lock_order_findings(&cross).is_empty());
+    }
+
+    #[test]
+    fn lock_unpoisoned_helper_is_tracked() {
+        let src = "fn f(&self, p: &pool::Pool) {\n\
+                   let state = lock_unpoisoned(&self.state);\n\
+                   p.scope(|s| { s.spawn(|| {}); });\n\
+                   }";
+        let (got, _) = run(LIB, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].0 == "guard-across-spawn");
+    }
+
+    #[test]
+    fn blocking_io_in_serve_handlers_only() {
+        let handler = "fn handle_metrics(s: &State) -> String { \
+                       std::fs::read_to_string(\"x\").unwrap_or_default() }";
+        let (got, _) = run("crates/serve/src/lib.rs", handler);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "blocking-io-handler");
+        // Startup code in the same crate may read files.
+        let startup = "fn load_scenarios(dir: &Path) -> String { \
+                       std::fs::read_to_string(dir).unwrap_or_default() }";
+        let (got, _) = run("crates/serve/src/lib.rs", startup);
+        assert!(got.is_empty(), "{got:?}");
+        // Handlers elsewhere are out of scope for this rule.
+        let (got, _) = run(LIB, handler);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

@@ -1,0 +1,374 @@
+//! Determinism rules over the symbol table: `hash-iteration`,
+//! `wall-clock`, and `thread-id`.
+//!
+//! The common theme: an analysis result must be a pure function of its
+//! inputs. `std`'s hash containers randomize their seed per instance, so
+//! any *iteration* order leaks randomness into whatever consumes it — float
+//! sums, BFS numbering, output files. Wall clocks and thread identities
+//! leak the schedule instead. Lookups (`get`, `insert`, `contains_key`,
+//! `entry`) stay legal: they are order-free.
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::symbols::{is_result_affecting, SymbolTable, WALL_CLOCK_SANCTIONED};
+
+/// Methods whose call on a hash container observes iteration order.
+const ITERATION_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "retain",
+    "values",
+    "values_mut",
+];
+
+/// Runs all determinism rules over one file.
+pub fn check(table: &SymbolTable<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_hash_iteration(table, &mut findings);
+    check_wall_clock(table, &mut findings);
+    check_thread_id(table, &mut findings);
+    findings
+}
+
+/// `hash-iteration`: iteration over a `HashMap`/`HashSet` binding in a
+/// result-affecting crate.
+fn check_hash_iteration(table: &SymbolTable<'_>, findings: &mut Vec<Finding>) {
+    if !is_result_affecting(table.rel) {
+        return;
+    }
+    let toks = table.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !table.lib_code(i) {
+            continue;
+        }
+
+        // NAME . method (   where NAME is a hash binding and method iterates.
+        if t.kind == TokKind::Ident
+            && table.is_hash_binding(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+        {
+            if let (Some(method), Some(open)) = (toks.get(i + 2), toks.get(i + 3)) {
+                if method.kind == TokKind::Ident
+                    && ITERATION_METHODS.contains(&method.text.as_str())
+                    && open.is_punct("(")
+                {
+                    findings.push(Finding::new(
+                        "hash-iteration",
+                        table.at(i + 2),
+                        format!(
+                            "`.{}()` on hash container `{}` in a result-affecting crate",
+                            method.text, t.text
+                        ),
+                        "iterate a BTreeMap/BTreeSet instead, or collect and sort the keys \
+                         before iterating",
+                    ));
+                }
+            }
+        }
+
+        // for PAT in EXPR {   where EXPR references a hash binding without
+        // an iteration method call (that case is caught above).
+        if t.is_ident("for") {
+            // Find the `in` at bracket depth 0 (destructuring patterns may
+            // contain parens), then the loop `{`.
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            let mut in_at = None;
+            while j < toks.len() && j < i + 64 {
+                let s = &toks[j];
+                if s.is_punct("(") || s.is_punct("[") {
+                    depth += 1;
+                } else if s.is_punct(")") || s.is_punct("]") {
+                    depth -= 1;
+                } else if s.is_ident("in") && depth <= 0 {
+                    in_at = Some(j);
+                    break;
+                } else if s.is_punct("{") || s.is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            let Some(in_at) = in_at else { continue };
+            let mut depth = 0i64;
+            let mut k = in_at + 1;
+            while k < toks.len() {
+                let s = &toks[k];
+                if s.is_punct("(") || s.is_punct("[") {
+                    depth += 1;
+                } else if s.is_punct(")") || s.is_punct("]") {
+                    depth -= 1;
+                } else if s.is_punct("{") && depth <= 0 {
+                    break;
+                } else if s.kind == TokKind::Ident
+                    && table.is_hash_binding(&s.text)
+                    && !dotted_use(table, k)
+                {
+                    findings.push(Finding::new(
+                        "hash-iteration",
+                        table.at(k),
+                        format!(
+                            "`for … in` over hash container `{}` in a result-affecting crate",
+                            s.text
+                        ),
+                        "iterate a BTreeMap/BTreeSet instead, or collect and sort the keys \
+                         before iterating",
+                    ));
+                    break;
+                }
+                k += 1;
+            }
+        }
+
+        // SINK . extend ( … NAME … )  — draining a hash container into
+        // another collection still observes its order.
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("extend"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            let mut depth = 0i64;
+            let mut k = i + 2;
+            while k < toks.len() {
+                let s = &toks[k];
+                if s.is_punct("(") {
+                    depth += 1;
+                } else if s.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if s.kind == TokKind::Ident
+                    && table.is_hash_binding(&s.text)
+                    && !dotted_use(table, k)
+                {
+                    findings.push(Finding::new(
+                        "hash-iteration",
+                        table.at(k),
+                        format!(
+                            "`.extend()` from hash container `{}` in a result-affecting crate",
+                            s.text
+                        ),
+                        "extend from a BTreeMap/BTreeSet or a sorted Vec instead",
+                    ));
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// `true` when the hash binding at token `i` is used through a `.` (method
+/// call or field access). Inside `for`/`extend` expressions only *bare*
+/// references (`for x in map`, `v.extend(&set)`) are iteration of the
+/// container itself; dotted uses are either order-free lookups
+/// (`0..map.len()`, `map.get(&k)`) or iteration methods the method rule
+/// already reports — flagging them here would double-count.
+fn dotted_use(table: &SymbolTable<'_>, i: usize) -> bool {
+    table.toks.get(i + 1).is_some_and(|d| d.is_punct("."))
+}
+
+/// `wall-clock`: `Instant::now` / `SystemTime::now` (including through `use
+/// … as` renames) in library code of an unsanctioned crate.
+fn check_wall_clock(table: &SymbolTable<'_>, findings: &mut Vec<Finding>) {
+    let sanctioned =
+        crate::symbols::crate_key(table.rel).is_some_and(|c| WALL_CLOCK_SANCTIONED.contains(&c));
+    if sanctioned {
+        return;
+    }
+    let toks = table.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !table.lib_code(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let resolved = table.resolve(&t.text);
+        let clock_type = matches!(
+            resolved.rsplit("::").next().unwrap_or(resolved),
+            "Instant" | "SystemTime"
+        ) || matches!(t.text.as_str(), "Instant" | "SystemTime");
+        if clock_type
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            findings.push(Finding::new(
+                "wall-clock",
+                table.at(i),
+                format!(
+                    "`{}::now()` in library code outside the sanctioned crates",
+                    t.text
+                ),
+                "results must be pure functions of inputs; derive timing from the enclosing \
+                 telemetry span, or move the measurement into a bin/harness",
+            ));
+        }
+    }
+}
+
+/// `thread-id`: branching on `thread::current().id()` — which worker runs a
+/// task is schedule-dependent, so any logic keyed on it is nondeterministic.
+fn check_thread_id(table: &SymbolTable<'_>, findings: &mut Vec<Finding>) {
+    let toks = table.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !table.lib_code(i) {
+            continue;
+        }
+        let current_call = t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("current"))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 4).is_some_and(|n| n.is_punct(")"));
+        if current_call
+            && toks.get(i + 5).is_some_and(|n| n.is_punct("."))
+            && toks.get(i + 6).is_some_and(|n| n.is_ident("id"))
+        {
+            findings.push(Finding::new(
+                "thread-id",
+                table.at(i),
+                "`thread::current().id()` in library code",
+                "pass an explicit worker index instead; thread identity is assigned by the \
+                 scheduler and varies run to run",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::build;
+
+    fn run(rel: &str, src: &str) -> Vec<(String, String)> {
+        let toks = lex(src);
+        let table = build(rel, &toks);
+        check(&table)
+            .into_iter()
+            .map(|f| (f.rule, f.location))
+            .collect()
+    }
+
+    const NUMERIC: &str = "crates/markov/src/x.rs";
+
+    #[test]
+    fn hash_iteration_methods_flagged_lookups_legal() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() {\n\
+                       let mut m = HashMap::new();\n\
+                       m.insert(1, 2.0);\n\
+                       let _ = m.get(&1);\n\
+                       for (k, v) in m.iter() { let _ = (k, v); }\n\
+                   }";
+        let got = run(NUMERIC, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "hash-iteration");
+        // rel:line:col of the `iter` token (string continuations strip the
+        // indentation, so `for` starts the line at column 1).
+        assert_eq!(got[0].1, format!("{NUMERIC}:6:17"));
+    }
+
+    #[test]
+    fn for_in_over_map_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: HashMap<u32, f64>) -> f64 {\n\
+                       let mut s = 0.0;\n\
+                       for (_, v) in &m { s += v; }\n\
+                       s\n\
+                   }";
+        let got = run(NUMERIC, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "hash-iteration");
+    }
+
+    #[test]
+    fn extend_from_map_flagged() {
+        let src = "use std::collections::HashSet;\n\
+                   fn f(s: HashSet<u32>) {\n\
+                       let mut v = Vec::new();\n\
+                       v.extend(s);\n\
+                   }";
+        let got = run(NUMERIC, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "hash-iteration");
+    }
+
+    #[test]
+    fn order_free_uses_in_loops_are_legal() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: HashMap<usize, f64>, xs: &[f64]) -> f64 {\n\
+                       let mut s = 0.0;\n\
+                       for i in 0..m.len() { s += xs[i]; }\n\
+                       for (i, x) in xs.iter().enumerate() {\n\
+                           if let Some(w) = m.get(&i) { s += w * x; }\n\
+                       }\n\
+                       s\n\
+                   }";
+        assert!(run(NUMERIC, src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_and_non_result_crates_are_legal() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: BTreeMap<u32, f64>) { for (_, v) in m.iter() { let _ = v; } }";
+        assert!(run(NUMERIC, src).is_empty());
+        // The same HashMap iteration outside a result-affecting crate.
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: HashMap<u32, f64>) { for (_, v) in m.iter() { let _ = v; } }";
+        assert!(run("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_in_tests_is_legal() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\n\
+                   mod t { fn f(m: HashMap<u32, u32>) { for k in m.keys() { let _ = k; } } }";
+        assert!(run(NUMERIC, src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_sanctioned() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }";
+        let got = run(NUMERIC, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "wall-clock");
+        assert!(run("crates/telemetry/src/x.rs", src).is_empty());
+        assert!(run("crates/serve/src/x.rs", src).is_empty());
+        // Bin context is exempt: CLIs may time themselves.
+        assert!(run("crates/markov/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_sees_through_renames() {
+        let src = "use std::time::Instant as Clock;\nfn f() { let _ = Clock::now(); }";
+        let got = run(NUMERIC, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "wall-clock");
+        // An unrelated type named now-ishly is not flagged.
+        let src = "struct Clock; impl Clock { fn now() {} }\nfn f() { let _ = Clock::now(); }";
+        assert!(run(NUMERIC, src).is_empty());
+    }
+
+    #[test]
+    fn system_time_now_flagged() {
+        let src = "fn f() { let _ = std::time::SystemTime::now(); }";
+        let got = run(NUMERIC, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, "wall-clock");
+    }
+
+    #[test]
+    fn thread_id_flagged() {
+        let src =
+            "use std::thread;\nfn f() -> bool { thread::current().id() == thread::current().id() }";
+        let got = run(NUMERIC, src);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().all(|(r, _)| r == "thread-id"));
+        // Plain thread::current() without .id() (e.g. for park/unpark) is
+        // not flagged.
+        let src = "use std::thread;\nfn f() { thread::current().unpark(); }";
+        assert!(run(NUMERIC, src).is_empty());
+    }
+}

@@ -1,17 +1,23 @@
-//! Findings, the rule catalog, fingerprints, and the `gsu-lint-v1` JSONL
+//! Findings, the rule catalog, fingerprints, and the `gsu-lint-v2` JSONL
 //! schema.
 //!
 //! A [`Finding`] is one rule violation at one location. Its **fingerprint**
-//! is an FNV-1a hash of the rule id, the location with any trailing line
-//! number stripped, and the message — stable across unrelated edits that
-//! only shift line numbers, which is what makes a committed `lint.allow`
-//! practical.
+//! is an FNV-1a hash of the rule id, the location with any trailing
+//! line/column numbers stripped, and the message — stable across unrelated
+//! edits that only shift positions, which is what makes a committed
+//! `lint.allow` practical. v2 locations carry `path:line:col`; stripping up
+//! to two trailing numeric segments keeps every v1 (`path:line`)
+//! fingerprint byte-identical, so existing allowlists keep working.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Version tag carried by every JSONL record.
-pub const SCHEMA: &str = "gsu-lint-v1";
+pub const SCHEMA: &str = "gsu-lint-v2";
+
+/// The previous schema tag; [`parse_jsonl_line`] still accepts it so
+/// pre-v2 findings files (and archived results) remain readable.
+pub const SCHEMA_V1: &str = "gsu-lint-v1";
 
 /// How a finding affects the exit code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -52,8 +58,12 @@ impl fmt::Display for Severity {
 pub enum Layer {
     /// The lexical source-policy pass over workspace `.rs` files.
     Source,
+    /// The symbol-/dataflow-aware pass over the parsed item structure.
+    Symbol,
     /// The model-semantics pass over constructed GSU models.
     Model,
+    /// The differential runtime sanitizer (`gsu-lint sanitize`).
+    Runtime,
 }
 
 /// One entry of the rule catalog.
@@ -109,6 +119,62 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Deny,
         layer: Layer::Source,
         summary: "no println!/eprintln! in library crates; route through telemetry::log",
+    },
+    RuleInfo {
+        id: "hash-iteration",
+        severity: Severity::Deny,
+        layer: Layer::Symbol,
+        summary: "no iteration (iter/keys/values/into_iter/drain/for-in/extend-from) over a \
+                  HashMap/HashSet in a result-affecting crate; lookup-only maps stay legal",
+    },
+    RuleInfo {
+        id: "wall-clock",
+        severity: Severity::Deny,
+        layer: Layer::Symbol,
+        summary: "no Instant::now/SystemTime in library code outside telemetry/bench/serve \
+                  (results must be pure functions of inputs)",
+    },
+    RuleInfo {
+        id: "thread-id",
+        severity: Severity::Deny,
+        layer: Layer::Symbol,
+        summary: "no thread::current().id() logic in library code; which worker runs a task \
+                  is schedule-dependent",
+    },
+    RuleInfo {
+        id: "guard-across-spawn",
+        severity: Severity::Deny,
+        layer: Layer::Symbol,
+        summary: "no Mutex/RwLock guard held across a pool spawn/map_indexed call \
+                  (deadlock-by-schedule hazard)",
+    },
+    RuleInfo {
+        id: "blocking-io-handler",
+        severity: Severity::Deny,
+        layer: Layer::Symbol,
+        summary: "no blocking filesystem I/O inside serve request handlers off the accept \
+                  path; cache at startup instead",
+    },
+    RuleInfo {
+        id: "lock-order-inversion",
+        severity: Severity::Deny,
+        layer: Layer::Symbol,
+        summary: "two locks of one crate are acquired in both nesting orders \
+                  (A-then-B and B-then-A)",
+    },
+    RuleInfo {
+        id: "sanitize-mismatch",
+        severity: Severity::Deny,
+        layer: Layer::Runtime,
+        summary: "a differential schedule run (threads x permuted wake order) produced \
+                  bitwise-different results for the same inputs",
+    },
+    RuleInfo {
+        id: "checked-float",
+        severity: Severity::Deny,
+        layer: Layer::Runtime,
+        summary: "a sparsela kernel produced NaN/Inf/denormal output under checked-float \
+                  mode (debug builds)",
     },
     RuleInfo {
         id: "model-build",
@@ -254,15 +320,24 @@ impl Finding {
         }
     }
 
-    /// The location with any trailing `:<line>` stripped, so fingerprints
-    /// survive edits that only shift lines.
+    /// The location with up to two trailing `:<digits>` segments stripped
+    /// (`:line` in v1 locations, `:line:col` in v2 ones), so fingerprints
+    /// survive edits that only shift positions. One-segment v1 locations
+    /// strip to the same key as before — the second pass is a no-op on a
+    /// path ending in `.rs` — which keeps v1 fingerprints byte-identical.
     pub fn fingerprint_key(&self) -> &str {
-        match self.location.rsplit_once(':') {
-            Some((head, tail)) if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) => {
-                head
+        let mut key = self.location.as_str();
+        for _ in 0..2 {
+            match key.rsplit_once(':') {
+                Some((head, tail))
+                    if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) =>
+                {
+                    key = head;
+                }
+                _ => break,
             }
-            _ => &self.location,
         }
+        key
     }
 
     /// FNV-1a fingerprint of (rule, line-less location, message).
@@ -415,8 +490,10 @@ pub fn parse_jsonl_line(line: &str) -> Result<Finding, String> {
             .ok_or_else(|| format!("missing field {key:?}"))
     };
     let schema = get("schema")?;
-    if schema != SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    if schema != SCHEMA && schema != SCHEMA_V1 {
+        return Err(format!(
+            "schema {schema:?}, expected {SCHEMA:?} (or legacy {SCHEMA_V1:?})"
+        ));
     }
     let rule = get("rule")?;
     let info = rule_info(rule).ok_or_else(|| format!("unknown rule id {rule:?}"))?;
@@ -533,6 +610,26 @@ mod tests {
         let mut c = sample();
         c.message = "different".to_string();
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_and_column() {
+        let mut a = sample();
+        a.location = "crates/demo/src/lib.rs:42:7".to_string();
+        let mut b = sample();
+        b.location = "crates/demo/src/lib.rs:9000:1".to_string();
+        assert_eq!(a.fingerprint_key(), "crates/demo/src/lib.rs");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A v1 single-segment location strips to the same key, so the v2
+        // strip rule does not invalidate existing allowlists.
+        assert_eq!(a.fingerprint(), sample().fingerprint());
+    }
+
+    #[test]
+    fn legacy_v1_records_still_parse() {
+        let line = sample().to_jsonl().replace(SCHEMA, SCHEMA_V1);
+        let back = parse_jsonl_line(&line).unwrap();
+        assert_eq!(back, sample());
     }
 
     #[test]

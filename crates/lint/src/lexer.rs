@@ -37,6 +37,8 @@ pub struct Tok {
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
+    /// 1-based byte column of the token's first character on its line.
+    pub col: u32,
 }
 
 impl Tok {
@@ -75,6 +77,7 @@ struct Scanner<'a> {
     src: &'a [u8],
     i: usize,
     line: u32,
+    col: u32,
 }
 
 impl<'a> Scanner<'a> {
@@ -87,6 +90,9 @@ impl<'a> Scanner<'a> {
         self.i += 1;
         if b == b'\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(b)
     }
@@ -110,10 +116,12 @@ pub fn lex(source: &str) -> Vec<Tok> {
         src: source.as_bytes(),
         i: 0,
         line: 1,
+        col: 1,
     };
     let mut toks = Vec::new();
     while let Some(b) = s.peek(0) {
         let line = s.line;
+        let col = s.col;
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 s.bump();
@@ -152,7 +160,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
             b'"' => {
                 let start = s.i;
                 scan_quoted(&mut s);
-                push(&mut toks, TokKind::StrLit, &s, start, line);
+                push(&mut toks, TokKind::StrLit, &s, start, line, col);
             }
             b'\'' => {
                 // Lifetime when followed by an identifier that is not
@@ -163,7 +171,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
                     while s.peek(0).is_some_and(is_ident_continue) {
                         s.bump();
                     }
-                    push(&mut toks, TokKind::Lifetime, &s, start, line);
+                    push(&mut toks, TokKind::Lifetime, &s, start, line, col);
                 } else {
                     s.bump();
                     loop {
@@ -175,7 +183,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
                             Some(_) => {}
                         }
                     }
-                    push(&mut toks, TokKind::CharLit, &s, start, line);
+                    push(&mut toks, TokKind::CharLit, &s, start, line, col);
                 }
             }
             _ if raw_string_hashes(&s).is_some() => {
@@ -193,13 +201,13 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 for _ in 0..closer.len() {
                     s.bump();
                 }
-                push(&mut toks, TokKind::StrLit, &s, start, line);
+                push(&mut toks, TokKind::StrLit, &s, start, line, col);
             }
             b'b' if s.peek(1) == Some(b'"') => {
                 let start = s.i;
                 s.bump();
                 scan_quoted(&mut s);
-                push(&mut toks, TokKind::StrLit, &s, start, line);
+                push(&mut toks, TokKind::StrLit, &s, start, line, col);
             }
             b'b' if s.peek(1) == Some(b'\'') => {
                 let start = s.i;
@@ -214,19 +222,19 @@ pub fn lex(source: &str) -> Vec<Tok> {
                         Some(_) => {}
                     }
                 }
-                push(&mut toks, TokKind::CharLit, &s, start, line);
+                push(&mut toks, TokKind::CharLit, &s, start, line, col);
             }
             _ if is_ident_start(b) => {
                 let start = s.i;
                 while s.peek(0).is_some_and(is_ident_continue) {
                     s.bump();
                 }
-                push(&mut toks, TokKind::Ident, &s, start, line);
+                push(&mut toks, TokKind::Ident, &s, start, line, col);
             }
             _ if b.is_ascii_digit() => {
                 let start = s.i;
                 let kind = scan_number(&mut s);
-                push(&mut toks, kind, &s, start, line);
+                push(&mut toks, kind, &s, start, line, col);
             }
             _ => {
                 let start = s.i;
@@ -241,16 +249,21 @@ pub fn lex(source: &str) -> Vec<Tok> {
                         s.bump();
                     }
                 }
-                push(&mut toks, TokKind::Punct, &s, start, line);
+                push(&mut toks, TokKind::Punct, &s, start, line, col);
             }
         }
     }
     toks
 }
 
-fn push(toks: &mut Vec<Tok>, kind: TokKind, s: &Scanner<'_>, start: usize, line: u32) {
+fn push(toks: &mut Vec<Tok>, kind: TokKind, s: &Scanner<'_>, start: usize, line: u32, col: u32) {
     let text = String::from_utf8_lossy(&s.src[start..s.i]).into_owned();
-    toks.push(Tok { kind, text, line });
+    toks.push(Tok {
+        kind,
+        text,
+        line,
+        col,
+    });
 }
 
 /// Consumes a `"…"` literal starting at the opening quote.

@@ -1,31 +1,47 @@
 //! `gsu-lint` — std-only static analysis for the guarded-upgrade workspace.
 //!
-//! Two passes share one finding pipeline:
+//! Four passes share one finding pipeline:
 //!
 //! * **Layer 1 (source policy, [`source`])** — a hand-rolled lexer
 //!   ([`lexer`]) walks every non-vendor `.rs` file and enforces the
 //!   workspace's coding policy: no `unsafe`, no `.unwrap()`/`panic!` in
 //!   library code, no stray `env::var` or `println!`, no float `==`, and a
 //!   mandatory `#![forbid(unsafe_code)]` on every crate root.
-//! * **Layer 2 (model semantics, [`semantics`])** — builds the paper's
+//! * **Layer 2 (symbols, [`symbols`])** — a lightweight item parser
+//!   ([`parser`]) recovers `use` bindings and fn bodies per file, over
+//!   which the [`determinism`] rules (no hash-order iteration in
+//!   result-affecting crates, no wall clocks outside
+//!   telemetry/bench/serve, no thread-id logic) and the [`concurrency`]
+//!   rules (no guard held across pool spawns, consistent lock order, no
+//!   blocking I/O in serve handlers) run.
+//! * **Layer 3 (model semantics, [`semantics`])** — builds the paper's
 //!   actual GSU reward models and checks what the type system cannot:
 //!   generator rows sum to ~0, rates are finite and non-negative,
 //!   reducibility matches the solver each model is handed to, SAN
 //!   activities are live, rewards have support, and parameters sit in
 //!   their domains.
+//! * **Layer 4 (runtime sanitizer, [`sanitize`])** — a differential
+//!   harness that re-runs reference scenarios under permuted worker
+//!   schedules and thread counts, diffing outputs bitwise, with
+//!   checked-float tripwires armed in the sparse kernels.
 //!
 //! Findings ([`diag::Finding`]) render as a human table or as
-//! tamper-evident `gsu-lint-v1` JSONL ([`report`]), can be suppressed by a
+//! tamper-evident `gsu-lint-v2` JSONL ([`report`]), can be suppressed by a
 //! committed fingerprint allowlist (`lint.allow`), and gate CI: any
 //! unsuppressed `deny` finding exits non-zero.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
+pub mod determinism;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod report;
+pub mod sanitize;
 pub mod semantics;
 pub mod source;
+pub mod symbols;
 
 pub use diag::{rule_info, Allowlist, Finding, Severity, RULES, SCHEMA};
 
@@ -34,10 +50,15 @@ pub use diag::{rule_info, Allowlist, Finding, Severity, RULES, SCHEMA};
 const TRICKY_FIXTURE: &str = include_str!("../fixtures/tricky.rs");
 /// Fixture violating every source rule exactly once.
 const VIOLATIONS_FIXTURE: &str = include_str!("../fixtures/violations.rs");
+/// Fixture violating the symbol-layer (determinism + concurrency) rules.
+const SYMBOL_FIXTURE: &str = include_str!("../fixtures/symbol-violations.rs");
 
 /// Path both fixtures pretend to live at: a library crate root, so the full
 /// policy (including `forbid-unsafe`) applies.
 const FIXTURE_PATH: &str = "crates/fixture/src/lib.rs";
+/// Path the symbol fixture pretends to live at: inside a result-affecting
+/// crate, so the determinism rules apply at full strength.
+const SYMBOL_FIXTURE_PATH: &str = "crates/markov/src/lint_fixture.rs";
 
 /// Splits `findings` into (reported, suppressed-count) under `allow`.
 pub fn apply_allowlist(findings: Vec<Finding>, allow: &Allowlist) -> (Vec<Finding>, usize) {
@@ -139,6 +160,36 @@ pub fn self_test() -> Result<Vec<String>, String> {
     }
     log.push("semantics: seeded 1e-6 row-sum defect caught and named state 0".to_string());
 
+    // 6. The symbol pass catches each seeded determinism/concurrency defect
+    //    exactly once, and the fingerprints survive a two-line shift (they
+    //    key on rule + path + message, not positions).
+    let symbol = symbols::lint_symbols(SYMBOL_FIXTURE_PATH, SYMBOL_FIXTURE);
+    let mut got: Vec<&str> = symbol.iter().map(|f| f.rule.as_str()).collect();
+    got.sort_unstable();
+    let want = vec![
+        "guard-across-spawn",
+        "hash-iteration",
+        "thread-id",
+        "wall-clock",
+    ];
+    if got != want {
+        return Err(format!(
+            "symbol fixture raised {got:?}, expected exactly {want:?}"
+        ));
+    }
+    let shifted_text = format!("\n\n{SYMBOL_FIXTURE}");
+    let shifted = symbols::lint_symbols(SYMBOL_FIXTURE_PATH, &shifted_text);
+    let prints: Vec<u64> = symbol.iter().map(Finding::fingerprint).collect();
+    let shifted_prints: Vec<u64> = shifted.iter().map(Finding::fingerprint).collect();
+    if prints != shifted_prints {
+        return Err("symbol-rule fingerprints changed under a two-line shift".to_string());
+    }
+    log.push(format!(
+        "symbols: all {} seeded determinism/concurrency defects caught once, \
+         fingerprints shift-stable",
+        want.len()
+    ));
+
     Ok(log)
 }
 
@@ -149,7 +200,7 @@ mod tests {
     #[test]
     fn self_test_passes() {
         let log = self_test().unwrap();
-        assert_eq!(log.len(), 5);
+        assert_eq!(log.len(), 6);
     }
 
     #[test]

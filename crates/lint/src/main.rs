@@ -7,23 +7,26 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use gsu_lint::{
-    apply_allowlist, diag::Layer, has_deny, report, semantics, source, Allowlist, Finding, RULES,
+    apply_allowlist, diag::Layer, has_deny, report, sanitize, semantics, source, symbols,
+    Allowlist, Finding, RULES,
 };
 use performability::GsuParams;
 
 const USAGE: &str = "\
-gsu-lint: static analysis over source policy and GSU model semantics
+gsu-lint: static analysis over source policy, symbols, and GSU model semantics
 
 USAGE:
     gsu-lint [--all | --source | --models] [OPTIONS]
+    gsu-lint sanitize [--quick] [OPTIONS]
     gsu-lint self-test
     gsu-lint validate-jsonl <FILE>
     gsu-lint --list-rules
 
 OPTIONS:
-    --all               run both passes (default)
-    --source            source-policy pass only
+    --all               run every static pass (default)
+    --source            source-policy + symbol passes only
     --models            model-semantics pass only
+    --quick             (sanitize) fewer seeds, smallest scenarios; CI budget
     --root <DIR>        workspace root (default: .)
     --format <FMT>      table (default) or jsonl
     --allow <FILE>      allowlist path (default: <root>/lint.allow)
@@ -68,6 +71,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .ok_or_else(|| format!("validate-jsonl needs a file\n\n{USAGE}"))?;
             return run_validate_jsonl(path);
         }
+        Some("sanitize") => return run_sanitize(&args[1..]),
         _ => {}
     }
 
@@ -76,6 +80,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if opts.run_source {
         findings
             .extend(source::lint_tree(&opts.root).map_err(|e| format!("source pass failed: {e}"))?);
+        findings.extend(
+            symbols::lint_tree(&opts.root).map_err(|e| format!("symbol pass failed: {e}"))?,
+        );
     }
     if opts.run_models {
         let mut span = telemetry::span("lint.models");
@@ -91,6 +98,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         findings.extend(model_findings);
     }
 
+    report_and_gate(&opts, findings)
+}
+
+/// Shared back half of the static passes and the sanitizer: allowlist,
+/// telemetry counters, rendering, exit code.
+fn report_and_gate(opts: &Options, findings: Vec<Finding>) -> Result<ExitCode, String> {
     let allow_path = opts
         .allow_path
         .clone()
@@ -134,6 +147,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `gsu-lint sanitize [--quick]`: the differential-schedule harness.
+fn run_sanitize(args: &[String]) -> Result<ExitCode, String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--quick").cloned().collect();
+    let opts = parse_options(&rest)?;
+    let report = sanitize::run(&sanitize::SanitizeOptions {
+        quick,
+        scenario_dir: opts.root.join("scenarios"),
+    })?;
+    for line in &report.log {
+        eprintln!("sanitize: {line}");
+    }
+    eprintln!(
+        "sanitize: {} differential run(s), {} finding(s)",
+        report.runs,
+        report.findings.len()
+    );
+    report_and_gate(&opts, report.findings)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -194,14 +227,16 @@ fn next_value<'a>(
 }
 
 fn print_rules() {
-    println!("{:<26}  {:<4}  {:<6}  SUMMARY", "RULE", "SEV", "LAYER");
+    println!("{:<26}  {:<4}  {:<7}  SUMMARY", "RULE", "SEV", "LAYER");
     for r in RULES {
         let layer = match r.layer {
             Layer::Source => "source",
+            Layer::Symbol => "symbol",
             Layer::Model => "model",
+            Layer::Runtime => "runtime",
         };
         println!(
-            "{:<26}  {:<4}  {:<6}  {}",
+            "{:<26}  {:<4}  {:<7}  {}",
             r.id, r.severity, layer, r.summary
         );
     }
@@ -220,7 +255,7 @@ fn run_validate_jsonl(path: &str) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let findings: Vec<Finding> = report::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
     println!(
-        "validate-jsonl: {path}: {} valid gsu-lint-v1 record(s)",
+        "validate-jsonl: {path}: {} valid record(s) (schema gsu-lint-v2; v1 accepted)",
         findings.len()
     );
     Ok(ExitCode::SUCCESS)

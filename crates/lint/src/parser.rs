@@ -1,0 +1,362 @@
+//! A lightweight item parser over the [`crate::lexer`] token stream.
+//!
+//! This is not a Rust grammar: it recovers exactly the item structure the
+//! symbol pass ([`crate::symbols`]) needs — `use` declarations (with `as`
+//! renames and `{…}` groups flattened to one binding per imported name) and
+//! `fn` items with the token range of their body block — and nothing else.
+//! The parser is total: any token sequence, including text that is not
+//! Rust at all, produces a [`ParsedFile`] without panicking, and every
+//! recorded token index points into the input slice. Items it cannot make
+//! sense of are skipped, never guessed at; a rule that sees no item simply
+//! stays silent (fail-open is acceptable here because the lexical pass
+//! still runs everywhere).
+
+use crate::lexer::Tok;
+
+/// One name bound by a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// The name in scope after the import (the last path segment, or the
+    /// `as` alias; `*` for glob imports).
+    pub local: String,
+    /// The full `::`-joined source path.
+    pub path: String,
+    /// Token index of the binding's final segment (for locations).
+    pub tok: usize,
+}
+
+/// One `fn` item (free function, method, or nested fn alike).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub kw: usize,
+    /// Half-open token range of the body `{ … }` including both braces;
+    /// `None` for bodiless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+}
+
+/// The item structure recovered from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Every `use` binding, in source order.
+    pub uses: Vec<UseDecl>,
+    /// Every `fn` item, in source order of the `fn` keyword. Bodies of
+    /// nested fns are contained in (not subtracted from) their parents'.
+    pub fns: Vec<FnItem>,
+}
+
+impl ParsedFile {
+    /// The innermost fn whose body contains token index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| a <= i && i < b))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(a, b)| b - a))
+    }
+
+    /// Resolves a local name through the `use` table to its full path.
+    pub fn resolve(&self, local: &str) -> Option<&str> {
+        self.uses
+            .iter()
+            .find(|u| u.local == local)
+            .map(|u| u.path.as_str())
+    }
+}
+
+/// Parses the token stream into its item structure. Total: never panics,
+/// and every index in the result is a valid index into `toks`.
+pub fn parse(toks: &[Tok]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            i = parse_use(toks, i, &mut out.uses);
+        } else if toks[i].is_ident("fn") {
+            i = parse_fn(toks, i, &mut out.fns);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses `use <tree>;` starting at the `use` keyword; returns the index
+/// just past the terminating `;` (or wherever recovery stopped).
+fn parse_use(toks: &[Tok], start: usize, uses: &mut Vec<UseDecl>) -> usize {
+    // Find the terminating `;` at zero brace-group depth first, so a
+    // malformed tree can always be skipped wholesale.
+    let mut end = start + 1;
+    let mut depth = 0usize;
+    while end < toks.len() {
+        if toks[end].is_punct("{") {
+            depth += 1;
+        } else if toks[end].is_punct("}") {
+            depth = depth.saturating_sub(1);
+        } else if toks[end].is_punct(";") && depth == 0 {
+            break;
+        }
+        end += 1;
+    }
+    let tree = &toks[start + 1..end.min(toks.len())];
+    collect_use_tree(tree, start + 1, &mut Vec::new(), uses);
+    end.min(toks.len()) + 1
+}
+
+/// Flattens one use tree (already stripped of `use` and `;`) into bindings.
+/// `offset` is the token index of `tree[0]` in the file's stream.
+fn collect_use_tree(
+    tree: &[Tok],
+    offset: usize,
+    prefix: &mut Vec<String>,
+    uses: &mut Vec<UseDecl>,
+) {
+    let mut i = 0;
+    let depth_before = prefix.len();
+    while i < tree.len() {
+        let t = &tree[i];
+        if t.is_punct("::") {
+            i += 1;
+        } else if t.is_punct("{") {
+            // Split the group body on top-level commas and recurse per arm.
+            let mut j = i + 1;
+            let mut depth = 1usize;
+            let mut arm_start = j;
+            while j < tree.len() && depth > 0 {
+                if tree[j].is_punct("{") {
+                    depth += 1;
+                } else if tree[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 && arm_start < j {
+                        collect_use_tree(&tree[arm_start..j], offset + arm_start, prefix, uses);
+                    }
+                } else if tree[j].is_punct(",") && depth == 1 {
+                    if arm_start < j {
+                        collect_use_tree(&tree[arm_start..j], offset + arm_start, prefix, uses);
+                    }
+                    arm_start = j + 1;
+                }
+                j += 1;
+            }
+            prefix.truncate(depth_before);
+            return; // a group always ends its branch
+        } else if t.is_punct("*") {
+            uses.push(UseDecl {
+                local: "*".to_string(),
+                path: format!("{}::*", prefix.join("::")),
+                tok: offset + i,
+            });
+            prefix.truncate(depth_before);
+            return;
+        } else if t.is_ident("as") {
+            // Rebind the path accumulated so far under the alias. Anything
+            // but an identifier after `as` is malformed — skip the binding.
+            if let Some(alias) = tree
+                .get(i + 1)
+                .filter(|a| matches!(a.kind, crate::lexer::TokKind::Ident))
+            {
+                uses.push(UseDecl {
+                    local: alias.text.clone(),
+                    path: prefix.join("::"),
+                    tok: offset + i + 1,
+                });
+            }
+            prefix.truncate(depth_before);
+            return;
+        } else if matches!(t.kind, crate::lexer::TokKind::Ident) {
+            prefix.push(t.text.clone());
+            // A segment followed by `::` continues the path; otherwise it is
+            // the binding (unless an `as` or group follows, handled above).
+            let continues = tree.get(i + 1).is_some_and(|n| n.is_punct("::"));
+            let aliased = tree.get(i + 1).is_some_and(|n| n.is_ident("as"));
+            if !continues && !aliased {
+                uses.push(UseDecl {
+                    local: t.text.clone(),
+                    path: prefix.join("::"),
+                    tok: offset + i,
+                });
+                prefix.truncate(depth_before);
+                return;
+            }
+            i += 1;
+        } else {
+            // Attributes, `pub`, lifetimes in odd places: skip.
+            i += 1;
+        }
+    }
+    prefix.truncate(depth_before);
+}
+
+/// Parses a `fn` item starting at the `fn` keyword; returns the index to
+/// resume scanning from (just *inside* the body, so nested fns are found).
+fn parse_fn(toks: &[Tok], kw: usize, fns: &mut Vec<FnItem>) -> usize {
+    let Some(name_tok) = toks.get(kw + 1) else {
+        return kw + 1;
+    };
+    if !matches!(name_tok.kind, crate::lexer::TokKind::Ident) {
+        return kw + 1;
+    }
+    let name = name_tok.text.clone();
+    // Scan the signature for the body `{` or a terminating `;`, skipping
+    // anything nested in (), [] (const-generic defaults with braces will
+    // misparse; they do not occur in this workspace).
+    let mut i = kw + 2;
+    let mut paren = 0i64;
+    let mut body = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            paren += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            paren -= 1;
+        } else if paren <= 0 && t.is_punct(";") {
+            break;
+        } else if paren <= 0 && t.is_punct("{") {
+            // Match the body's closing brace.
+            let mut depth = 0usize;
+            let mut j = i;
+            let mut close = toks.len();
+            while j < toks.len() {
+                if toks[j].is_punct("{") {
+                    depth += 1;
+                } else if toks[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j + 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            body = Some((i, close));
+            break;
+        }
+        i += 1;
+    }
+    fns.push(FnItem { name, kw, body });
+    match body {
+        // Resume just inside the body so nested items are still visited.
+        Some((open, _)) => open + 1,
+        None => i + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn uses(src: &str) -> Vec<(String, String)> {
+        parse(&lex(src))
+            .uses
+            .into_iter()
+            .map(|u| (u.local, u.path))
+            .collect()
+    }
+
+    #[test]
+    fn simple_and_renamed_uses() {
+        assert_eq!(
+            uses("use std::collections::HashMap;"),
+            [(
+                "HashMap".to_string(),
+                "std::collections::HashMap".to_string()
+            )]
+        );
+        assert_eq!(
+            uses("use std::time::Instant as Clock;"),
+            [("Clock".to_string(), "std::time::Instant".to_string())]
+        );
+    }
+
+    #[test]
+    fn grouped_and_nested_uses_flatten() {
+        let got = uses("use std::collections::{HashMap, HashSet, hash_map::Entry};");
+        assert_eq!(
+            got,
+            [
+                (
+                    "HashMap".to_string(),
+                    "std::collections::HashMap".to_string()
+                ),
+                (
+                    "HashSet".to_string(),
+                    "std::collections::HashSet".to_string()
+                ),
+                (
+                    "Entry".to_string(),
+                    "std::collections::hash_map::Entry".to_string()
+                ),
+            ]
+        );
+        assert_eq!(
+            uses("use a::{b::{c, d as e}, f::*};"),
+            [
+                ("c".to_string(), "a::b::c".to_string()),
+                ("e".to_string(), "a::b::d".to_string()),
+                ("*".to_string(), "a::f::*".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn fns_with_bodies_and_nesting() {
+        let toks = lex("fn outer() { fn inner() { } } trait T { fn decl(&self); }");
+        let parsed = parse(&toks);
+        let names: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "decl"]);
+        assert!(parsed.fns[0].body.is_some());
+        assert!(parsed.fns[1].body.is_some());
+        assert!(parsed.fns[2].body.is_none());
+        // inner's body nests inside outer's.
+        let (oa, ob) = parsed.fns[0].body.unwrap();
+        let (ia, ib) = parsed.fns[1].body.unwrap();
+        assert!(oa < ia && ib <= ob);
+        // enclosing_fn picks the innermost.
+        assert_eq!(parsed.enclosing_fn(ia).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn signature_punctuation_does_not_confuse_body_detection() {
+        let toks = lex("fn f<T: Into<String>>(x: [u8; 2]) -> Result<(), E> where T: Sized { x }");
+        let parsed = parse(&toks);
+        assert_eq!(parsed.fns.len(), 1);
+        let (a, b) = parsed.fns[0].body.unwrap();
+        assert!(toks[a].is_punct("{") && toks[b - 1].is_punct("}"));
+    }
+
+    #[test]
+    fn garbage_never_panics_and_indices_are_valid() {
+        for src in [
+            "use ;",
+            "use a::{b,,};",
+            "use a::{",
+            "fn",
+            "fn 3",
+            "fn f(",
+            "fn f() {",
+            "} } { { use fn as as :: ;",
+            "use a as ;",
+        ] {
+            let toks = lex(src);
+            let parsed = parse(&toks);
+            for u in &parsed.uses {
+                assert!(u.tok < toks.len());
+            }
+            for f in &parsed.fns {
+                assert!(f.kw < toks.len());
+                if let Some((a, b)) = f.body {
+                    assert!(a < b && b <= toks.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_looks_through_renames() {
+        let parsed = parse(&lex("use std::time::Instant as Clock;"));
+        assert_eq!(parsed.resolve("Clock"), Some("std::time::Instant"));
+        assert_eq!(parsed.resolve("Instant"), None);
+    }
+}

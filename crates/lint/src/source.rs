@@ -16,6 +16,10 @@ use crate::lexer::{self, Tok};
 /// Everything else must take configuration through parameters so behaviour
 /// stays a pure function of inputs.
 const ENV_SANCTIONED: &[&str] = &[
+    // The sanitizer drives the pool's schedule knobs through the
+    // environment (that is the channel the pool reads) and must save and
+    // restore the prior values around each run.
+    "crates/lint/src/sanitize.rs",
     "crates/pool/src/lib.rs",
     "crates/telemetry/src/lib.rs",
     "crates/telemetry/src/log.rs",

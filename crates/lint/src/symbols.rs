@@ -1,0 +1,300 @@
+//! The symbol- and dataflow-aware pass: per-file symbol tables and the
+//! parallel tree driver for the [`crate::determinism`] and
+//! [`crate::concurrency`] rule families.
+//!
+//! For every non-vendor `.rs` file this pass lexes, parses
+//! ([`crate::parser`]), and builds a [`SymbolTable`]: the `use` bindings,
+//! the fn items, the set of local names whose type is (best-effort) known
+//! to be a `HashMap`/`HashSet`, and the file's `#[cfg(test)]` regions. The
+//! rule families then walk the token stream with that context. Lock
+//! acquisition *pairs* (lock B taken while guard A is live) are collected
+//! here per file and judged globally per crate after the parallel map, so
+//! an A-then-B file and a B-then-A file in the same crate still collide.
+
+use std::path::Path;
+
+use crate::diag::Finding;
+use crate::lexer::{self, Tok, TokKind};
+use crate::parser::{self, ParsedFile};
+use crate::source::{classify, workspace_sources, FileContext};
+
+/// Crate directories whose outputs are part of an analysis result: any
+/// schedule- or hash-order-dependence here changes published numbers. The
+/// facade crate (`src/`) rides along as `"facade"`.
+pub const RESULT_AFFECTING: &[&str] = &[
+    "core", "facade", "markov", "san", "scenario", "sim", "sparse",
+];
+
+/// Crates whose library code may legitimately read wall clocks: telemetry
+/// owns the clock, the bench harness measures with it, and serve stamps
+/// request latencies with it. Everything else must stay a pure function of
+/// its inputs.
+pub const WALL_CLOCK_SANCTIONED: &[&str] = &["bench", "serve", "telemetry"];
+
+/// The crate key of a workspace-relative path: `crates/<dir>/…` maps to
+/// `<dir>`, the facade's `src/…` to `facade`.
+pub fn crate_key(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if rel.starts_with("src/") {
+        return Some("facade");
+    }
+    None
+}
+
+/// `true` when `rel` belongs to a crate whose outputs are analysis results.
+pub fn is_result_affecting(rel: &str) -> bool {
+    crate_key(rel).is_some_and(|c| RESULT_AFFECTING.contains(&c))
+}
+
+/// One observed "lock B acquired while guard on A is live" event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockPair {
+    /// Crate the file belongs to (locks are compared within one crate).
+    pub crate_key: String,
+    /// Label of the lock whose guard was live first.
+    pub first: String,
+    /// Label of the lock acquired under it.
+    pub second: String,
+    /// `path:line:col` of the inner acquisition.
+    pub location: String,
+}
+
+/// Everything the symbol rules know about one file.
+pub struct SymbolTable<'a> {
+    /// Workspace-relative path (`/`-separated).
+    pub rel: &'a str,
+    /// The file's token stream.
+    pub toks: &'a [Tok],
+    /// Parsed item structure.
+    pub parsed: ParsedFile,
+    /// `#[cfg(test)]` / `#[test]` token regions (rules skip them).
+    pub tests: Vec<(usize, usize)>,
+    /// Context classification of the file.
+    pub context: FileContext,
+    /// Local names whose type involves `HashMap`/`HashSet` (best-effort:
+    /// `let` initialisers mentioning the types, and `name: HashMap<…>`
+    /// annotations on fields, params, and locals).
+    pub hash_bindings: Vec<String>,
+}
+
+impl SymbolTable<'_> {
+    /// Location string `rel:line:col` for token index `i`.
+    pub fn at(&self, i: usize) -> String {
+        match self.toks.get(i) {
+            Some(t) => format!("{}:{}:{}", self.rel, t.line, t.col),
+            None => self.rel.to_string(),
+        }
+    }
+
+    /// `true` when token `i` sits in library (non-test) code.
+    pub fn lib_code(&self, i: usize) -> bool {
+        self.context == FileContext::Lib && !lexer::in_regions(&self.tests, i)
+    }
+
+    /// `true` when `name` is a known hash-container binding.
+    pub fn is_hash_binding(&self, name: &str) -> bool {
+        self.hash_bindings.iter().any(|b| b == name)
+    }
+
+    /// Resolves `local` through the use table, falling back to the name
+    /// itself (covers fully spelled-out paths checked by their last
+    /// segment).
+    pub fn resolve<'b>(&'b self, local: &'b str) -> &'b str {
+        self.parsed.resolve(local).unwrap_or(local)
+    }
+}
+
+/// Builds the symbol table for one file.
+pub fn build<'a>(rel: &'a str, toks: &'a [Tok]) -> SymbolTable<'a> {
+    let parsed = parser::parse(toks);
+    let tests = lexer::test_regions(toks);
+    let context = classify(rel);
+    let hash_bindings = collect_hash_bindings(toks, &parsed);
+    SymbolTable {
+        rel,
+        toks,
+        parsed,
+        tests,
+        context,
+        hash_bindings,
+    }
+}
+
+/// `true` when the identifier names a std hash container, directly or
+/// through the file's use table.
+fn is_hash_type(parsed: &ParsedFile, name: &str) -> bool {
+    let resolved = parsed.resolve(name).unwrap_or(name);
+    matches!(
+        resolved.rsplit("::").next().unwrap_or(resolved),
+        "HashMap" | "HashSet"
+    ) || matches!(name, "HashMap" | "HashSet")
+}
+
+/// Best-effort inference of hash-container bindings:
+///
+/// * `let [mut] NAME … = <expr>;` where the initialiser mentions a hash
+///   type (`HashMap::new()`, `collect::<HashSet<_>>()`, full paths, …);
+/// * `NAME : HashMap <` / `NAME : HashSet <` annotations — struct fields,
+///   fn params, and annotated locals alike.
+fn collect_hash_bindings(toks: &[Tok], parsed: &ParsedFile) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut push = |n: &str| {
+        if !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        // Annotation form: NAME : [&]['a][mut] [path::]Hash{Map,Set} <
+        if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            let mut j = i + 2;
+            // Skip reference sigils, lifetimes, and `mut` (`m: &HashMap<…>`
+            // params iterate just as nondeterministically as owned ones).
+            while toks.get(j).is_some_and(|t| {
+                t.is_punct("&")
+                    || t.is_punct("&&")
+                    || t.is_ident("mut")
+                    || t.kind == TokKind::Lifetime
+            }) {
+                j += 1;
+            }
+            // Skip a leading path (std :: collections ::).
+            while toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("::"))
+            {
+                j += 2;
+            }
+            if toks
+                .get(j)
+                .is_some_and(|n| n.is_ident("HashMap") || n.is_ident("HashSet"))
+            {
+                push(&t.text);
+            }
+        }
+        // Initialiser form: let [mut] NAME [ : … ] = … hash-ish … ;
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            // Scan the statement to its `;` at bracket depth 0; if any
+            // identifier in it is a hash type, NAME is a hash binding.
+            let mut depth = 0i64;
+            let mut k = j + 1;
+            while k < toks.len() {
+                let s = &toks[k];
+                if s.is_punct("(") || s.is_punct("[") || s.is_punct("{") {
+                    depth += 1;
+                } else if s.is_punct(")") || s.is_punct("]") || s.is_punct("}") {
+                    depth -= 1;
+                } else if s.is_punct(";") && depth <= 0 {
+                    break;
+                } else if s.kind == TokKind::Ident && is_hash_type(parsed, &s.text) {
+                    push(&name.text);
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    names
+}
+
+/// Runs the symbol rules over one file's source text.
+pub fn lint_symbols(rel: &str, text: &str) -> Vec<Finding> {
+    analyze(rel, text).0
+}
+
+/// Runs the symbol rules over one file, also returning the lock pairs for
+/// the cross-file inversion check.
+pub fn analyze(rel: &str, text: &str) -> (Vec<Finding>, Vec<LockPair>) {
+    if classify(rel) == FileContext::Vendor {
+        return (Vec::new(), Vec::new());
+    }
+    let toks = lexer::lex(text);
+    let table = build(rel, &toks);
+    let mut findings = crate::determinism::check(&table);
+    let (concurrency_findings, pairs) = crate::concurrency::check(&table);
+    findings.extend(concurrency_findings);
+    (findings, pairs)
+}
+
+/// Runs the symbol pass over the whole workspace: files fan out on the
+/// ambient [`pool::Pool`] via `map_indexed` (deterministic order at any
+/// thread count), per-file findings concatenate in sorted path order, and
+/// the cross-file lock-order check runs over the merged pairs. The whole
+/// pass is wrapped in a `lint.parse` span so `/metrics` shows its cost.
+///
+/// # Errors
+///
+/// I/O failures walking or reading sources.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut span = telemetry::span("lint.parse");
+    let files = workspace_sources(root)?;
+    span.record("files", files.len());
+    let per_file: Vec<std::io::Result<(Vec<Finding>, Vec<LockPair>)>> = pool::Pool::current()
+        .map_indexed(files, |_, rel| {
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            Ok(analyze(&rel.to_string_lossy().replace('\\', "/"), &text))
+        });
+    let mut findings = Vec::new();
+    let mut pairs = Vec::new();
+    for result in per_file {
+        let (f, p) = result?;
+        findings.extend(f);
+        pairs.extend(p);
+    }
+    findings.extend(crate::concurrency::lock_order_findings(&pairs));
+    span.record("findings", findings.len());
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_keys_classify() {
+        assert_eq!(crate_key("crates/markov/src/steady.rs"), Some("markov"));
+        assert_eq!(crate_key("src/lib.rs"), Some("facade"));
+        assert_eq!(crate_key("scripts/check.sh"), None);
+        assert!(is_result_affecting("crates/sparse/src/csr.rs"));
+        assert!(is_result_affecting("src/lib.rs"));
+        assert!(!is_result_affecting("crates/telemetry/src/lib.rs"));
+    }
+
+    #[test]
+    fn hash_bindings_from_initialisers_and_annotations() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   use std::collections::HashMap;\n\
+                   struct S { cache: HashMap<u32, f64>, name: String }\n\
+                   fn f(byref: &HashMap<u32, f64>, n: &u32) {\n\
+                       let mut seen = HashMap::new();\n\
+                       let ann: std::collections::HashSet<u32> = Default::default();\n\
+                       let plain = Vec::new();\n\
+                       seen.insert(1, 2); ann.len(); plain.len();\n\
+                   }";
+        let toks = lexer::lex(src);
+        let table = build("crates/markov/src/x.rs", &toks);
+        assert!(table.is_hash_binding("cache"));
+        assert!(table.is_hash_binding("seen"));
+        assert!(table.is_hash_binding("ann"));
+        assert!(table.is_hash_binding("byref"));
+        assert!(!table.is_hash_binding("plain"));
+        assert!(!table.is_hash_binding("name"));
+        assert!(!table.is_hash_binding("n"));
+    }
+
+    #[test]
+    fn renamed_hash_import_still_detected() {
+        let src = "use std::collections::HashMap as FastMap;\n\
+                   fn f() { let m = FastMap::new(); m.insert(1, 2); }";
+        let toks = lexer::lex(src);
+        let table = build("crates/markov/src/x.rs", &toks);
+        assert!(table.is_hash_binding("m"));
+    }
+}

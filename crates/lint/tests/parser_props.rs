@@ -1,0 +1,121 @@
+//! Property tests for the item parser: totality on arbitrary input, and
+//! agreement with the lexer on token boundaries — every index the parser
+//! records must point at the lexer token it claims to describe.
+
+use gsu_lint::lexer::{lex, TokKind};
+use gsu_lint::parser::parse;
+use proptest::prelude::*;
+
+/// Fragment alphabet skewed toward the constructs the parser cares about,
+/// including malformed ones (unbalanced braces, dangling `as`, bare `::`).
+const FRAGMENTS: &[&str] = &[
+    "use",
+    "fn",
+    "as",
+    "mut",
+    "pub",
+    "self",
+    "crate",
+    "impl",
+    "struct",
+    "where",
+    "::",
+    ";",
+    ",",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    "->",
+    "*",
+    "&",
+    "#",
+    "!",
+    "=",
+    ".",
+    "'a",
+    "foo",
+    "Bar",
+    "HashMap",
+    "std",
+    "collections",
+    "x1",
+    "r#match",
+    "\"str\"",
+    "'c'",
+    "3.5",
+    "0x1f",
+    "// line comment\n",
+    "/* block */",
+];
+
+fn soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..FRAGMENTS.len(), 0..60).prop_map(|ix| {
+        ix.iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+/// Arbitrary (possibly non-ASCII, non-Rust) text.
+fn noise() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x2800, 0..120).prop_map(|cs| {
+        cs.into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn parser_is_total_and_indices_agree_with_lexer(src in soup()) {
+        let toks = lex(&src);
+        let parsed = parse(&toks); // must not panic
+        for u in &parsed.uses {
+            prop_assert!(u.tok < toks.len());
+            let t = &toks[u.tok];
+            // The recorded binding is exactly the token at that index:
+            // its alias/final segment for named imports, `*` for globs.
+            if u.local == "*" {
+                prop_assert!(t.is_punct("*"), "glob points at {:?}", t.text);
+            } else {
+                prop_assert!(t.kind == TokKind::Ident, "binding points at {:?}", t.kind);
+                prop_assert_eq!(&u.local, &t.text);
+                prop_assert!(u.path.ends_with(&t.text) || u.path.is_empty() || u.local != t.text);
+            }
+        }
+        for f in &parsed.fns {
+            prop_assert!(f.kw < toks.len());
+            prop_assert!(toks[f.kw].is_ident("fn"));
+            // The name is the very next lexer token.
+            prop_assert_eq!(&f.name, &toks[f.kw + 1].text);
+            if let Some((a, b)) = f.body {
+                prop_assert!(a < b && b <= toks.len());
+                let opens_with_brace = toks[a].is_punct("{");
+                prop_assert!(opens_with_brace, "body start is {:?}", toks[a].text);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(src in noise()) {
+        let toks = lex(&src);
+        let parsed = parse(&toks);
+        for u in &parsed.uses {
+            prop_assert!(u.tok < toks.len());
+        }
+        for f in &parsed.fns {
+            prop_assert!(f.kw < toks.len());
+            if let Some((a, b)) = f.body {
+                prop_assert!(a < b && b <= toks.len());
+            }
+        }
+    }
+}

@@ -347,11 +347,9 @@ impl PhaseType {
         if live.is_empty() {
             return Ok(self.point_mass_at_zero);
         }
-        let index: std::collections::HashMap<usize, usize> =
-            live.iter().enumerate().map(|(k, &i)| (i, k)).collect();
         let mut neg_s = DenseMatrix::zeros(live.len(), live.len());
         for (k, &i) in live.iter().enumerate() {
-            for (&j, &l) in index.iter() {
+            for (l, &j) in live.iter().enumerate() {
                 neg_s[(k, l)] = -self.s[(i, j)];
             }
         }

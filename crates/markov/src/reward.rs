@@ -13,7 +13,7 @@
 //! * expected **steady-state** reward: `Σ_s r(s)·π_s(∞)`
 //!   ([`RewardStructure::instant`] applied to a stationary distribution).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{Ctmc, MarkovError, Result};
 
@@ -31,7 +31,10 @@ use crate::{Ctmc, MarkovError, Result};
 #[derive(Debug, Clone, PartialEq)]
 pub struct RewardStructure {
     rates: Vec<f64>,
-    impulses: HashMap<(usize, usize), f64>,
+    // BTreeMap, not HashMap: `steady_rate`/`accumulated` sum over the
+    // impulse entries, and a float sum over hash order would differ between
+    // otherwise-identical processes. Key order makes the sums reproducible.
+    impulses: BTreeMap<(usize, usize), f64>,
 }
 
 impl RewardStructure {
@@ -40,7 +43,7 @@ impl RewardStructure {
     pub fn from_rates(rates: Vec<f64>) -> Self {
         RewardStructure {
             rates,
-            impulses: HashMap::new(),
+            impulses: BTreeMap::new(),
         }
     }
 

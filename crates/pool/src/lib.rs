@@ -46,6 +46,62 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Environment variable selecting the pool width.
 pub const THREADS_ENV: &str = "GSU_THREADS";
 
+/// Environment variable carrying an adversarial schedule-permutation seed
+/// (the `gsu-lint sanitize` debug hook). When set, task-to-deque assignment
+/// and victim scan order are scrambled by a SplitMix64 stream seeded from
+/// it, so work lands on workers — and is stolen back — in an order that has
+/// nothing to do with spawn order. The pool's determinism contract says
+/// results must not care; the sanitizer diffs outputs bitwise across seeds
+/// to prove it.
+pub const PERMUTE_ENV: &str = "GSU_POOL_PERMUTE";
+
+/// Environment variable enabling the **deliberately order-sensitive**
+/// collection defect (`completion-order`). Test-only: it makes
+/// [`Pool::map_indexed`] return results in task *completion* order instead
+/// of input order whenever more than one thread is configured — exactly the
+/// hazard class (order-sensitive parallel reduction) the determinism lint
+/// and the differential sanitizer exist to catch. Never set this outside
+/// the sanitizer's own negative tests.
+pub const DEFECT_ENV: &str = "GSU_POOL_DEFECT";
+
+/// The schedule-permutation seed selected by [`PERMUTE_ENV`], if any. A
+/// value that parses as `u64` is used directly; any other non-empty value
+/// is FNV-1a-hashed so `GSU_POOL_PERMUTE=adversarial` also works.
+pub fn configured_permutation() -> Option<u64> {
+    let raw = std::env::var(PERMUTE_ENV).ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    Some(raw.parse::<u64>().unwrap_or_else(|_| {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in raw.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }))
+}
+
+/// `true` when [`DEFECT_ENV`] asks for the order-sensitive collection
+/// defect.
+fn defect_completion_order() -> bool {
+    std::env::var(DEFECT_ENV)
+        .map(|v| {
+            let v = v.trim();
+            v == "completion-order" || v == "1"
+        })
+        .unwrap_or(false)
+}
+
+/// SplitMix64 step — the permutation stream behind [`PERMUTE_ENV`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// The thread count selected by [`THREADS_ENV`], or
 /// [`std::thread::available_parallelism`] when unset or unparsable.
 ///
@@ -79,6 +135,11 @@ fn default_threads() -> usize {
 #[derive(Debug, Clone)]
 pub struct Pool {
     threads: usize,
+    /// Schedule-permutation seed (see [`PERMUTE_ENV`]); `None` runs the
+    /// default round-robin/linear-scan schedule.
+    permute: Option<u64>,
+    /// Order-sensitive collection defect (see [`DEFECT_ENV`]); test-only.
+    defect: bool,
 }
 
 type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
@@ -104,6 +165,12 @@ struct Shared<'env> {
     signal: Condvar,
     /// Round-robin cursor for assigning spawned tasks to deques.
     next_queue: AtomicUsize,
+    /// Counts steal *attempts*, so a permuted victim scan draws a fresh
+    /// shuffle on every retry instead of deterministically re-missing the
+    /// same non-empty queue (which would livelock the parked-worker loop).
+    grab_seq: AtomicU64,
+    /// Schedule-permutation seed ([`PERMUTE_ENV`]); `None` = default order.
+    permute: Option<u64>,
     steals: AtomicU64,
     executed: AtomicU64,
     /// First panic payload raised by a task; re-raised at scope exit.
@@ -115,12 +182,31 @@ impl Pool {
     pub fn new(threads: usize) -> Self {
         Pool {
             threads: threads.max(1),
+            permute: None,
+            defect: false,
         }
     }
 
-    /// The pool described by the current environment ([`configured_threads`]).
+    /// The pool described by the current environment ([`configured_threads`],
+    /// [`configured_permutation`], and [`DEFECT_ENV`]).
     pub fn current() -> Self {
         Pool::new(configured_threads())
+            .with_permutation(configured_permutation())
+            .with_completion_order_defect(defect_completion_order())
+    }
+
+    /// Returns the pool with the given schedule-permutation seed (the
+    /// `gsu-lint sanitize` debug hook; see [`PERMUTE_ENV`]).
+    pub fn with_permutation(mut self, seed: Option<u64>) -> Self {
+        self.permute = seed;
+        self
+    }
+
+    /// Returns the pool with the order-sensitive collection defect toggled
+    /// (see [`DEFECT_ENV`]). Only the sanitizer's negative tests set this.
+    pub fn with_completion_order_defect(mut self, on: bool) -> Self {
+        self.defect = on;
+        self
     }
 
     /// Number of threads scopes run on, including the caller's.
@@ -136,7 +222,7 @@ impl Pool {
     /// If a task panics, the first payload is re-raised here after all other
     /// tasks have drained.
     pub fn scope<'env, T>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> T) -> T {
-        let shared = Shared::new(self.threads);
+        let shared = Shared::new(self.threads, self.permute);
         let out = std::thread::scope(|ts| {
             let shared = &shared;
             for worker in 1..self.threads {
@@ -169,8 +255,11 @@ impl Pool {
     ///
     /// Each result is written into the slot of its input index, so the output
     /// is a pure function of the inputs — bitwise identical at any thread
-    /// count. With one thread (or one item) the map runs inline on the
-    /// caller's thread with no synchronisation at all.
+    /// count *and under any schedule permutation* ([`PERMUTE_ENV`]). With one
+    /// thread (or one item) the map runs inline on the caller's thread with
+    /// no synchronisation at all. The one deliberate exception is the seeded
+    /// [`DEFECT_ENV`] hook, which breaks this contract on purpose so the
+    /// sanitizer has a known-bad schedule-sensitive reduction to catch.
     pub fn map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -188,26 +277,51 @@ impl Pool {
         span.record("items", items.len());
         span.record("threads", self.threads);
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let completion: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         {
             let f = &f;
             let slots = &slots;
+            let completion = &completion;
+            let defect = self.defect;
             self.scope(|scope| {
                 for (i, item) in items.into_iter().enumerate() {
                     scope.spawn(move || {
                         let result = f(i, item);
                         *lock_unpoisoned(&slots[i]) = Some(result);
+                        if defect {
+                            lock_unpoisoned(completion).push(i);
+                        }
                     });
                 }
             });
         }
-        slots
+        let mut results: Vec<Option<R>> = slots
             .into_iter()
-            .map(
-                |slot| match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        if self.defect {
+            // The seeded defect: hand results back in completion order. This
+            // is the order-sensitive parallel reduction the determinism lint
+            // and `gsu-lint sanitize` exist to catch — the inline path above
+            // is untouched, so the 1-thread baseline stays correct and the
+            // differential diff lights up.
+            let order = completion
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            return order
+                .into_iter()
+                .map(|i| match results[i].take() {
                     Some(result) => result,
                     None => unreachable!("scope exit guarantees every task ran"),
-                },
-            )
+                })
+                .collect();
+        }
+        results
+            .into_iter()
+            .map(|slot| match slot {
+                Some(result) => result,
+                None => unreachable!("scope exit guarantees every task ran"),
+            })
             .collect()
     }
 
@@ -269,7 +383,7 @@ impl std::fmt::Debug for Scope<'_, '_> {
 }
 
 impl<'env> Shared<'env> {
-    fn new(threads: usize) -> Self {
+    fn new(threads: usize, permute: Option<u64>) -> Self {
         Shared {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             state: Mutex::new(ScopeState {
@@ -278,6 +392,8 @@ impl<'env> Shared<'env> {
             }),
             signal: Condvar::new(),
             next_queue: AtomicUsize::new(0),
+            grab_seq: AtomicU64::new(0),
+            permute,
             steals: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             panic: Mutex::new(None),
@@ -285,7 +401,14 @@ impl<'env> Shared<'env> {
     }
 
     fn spawn(&self, task: Task<'env>) {
-        let queue = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        let slot = self.next_queue.fetch_add(1, Ordering::Relaxed);
+        let queue = match self.permute {
+            // Default: round-robin in spawn order.
+            None => slot % self.queues.len(),
+            // Permuted: scatter tasks across deques by the seeded stream, so
+            // which worker "owns" a task has nothing to do with spawn order.
+            Some(seed) => (splitmix64(seed ^ slot as u64) % self.queues.len() as u64) as usize,
+        };
         // Lock order state -> queue, matching the parking re-check in
         // `run_worker`, so a worker can never observe the task count without
         // also observing the task.
@@ -329,13 +452,28 @@ impl<'env> Shared<'env> {
 
     /// Pops from the worker's own deque, stealing from the back of a victim's
     /// deque when it is empty.
+    ///
+    /// The victim scan is linear by default; under a [`PERMUTE_ENV`] seed it
+    /// walks a freshly shuffled full permutation of the victims instead, so
+    /// contended steals resolve in a schedule-dependent order. Every victim
+    /// is still visited exactly once per scan — the hook perturbs *order*,
+    /// never coverage.
     fn grab(&self, worker: usize) -> Option<Task<'env>> {
         if let Some(task) = lock_unpoisoned(&self.queues[worker]).pop_front() {
             return Some(task);
         }
         let n = self.queues.len();
-        for offset in 1..n {
-            let victim = (worker + offset) % n;
+        let mut victims: Vec<usize> = (1..n).map(|offset| (worker + offset) % n).collect();
+        if let Some(seed) = self.permute {
+            let attempt = self.grab_seq.fetch_add(1, Ordering::Relaxed);
+            let mut s = splitmix64(seed ^ ((worker as u64) << 32) ^ attempt);
+            // Fisher–Yates driven by the SplitMix64 stream.
+            for i in (1..victims.len()).rev() {
+                s = splitmix64(s);
+                victims.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+        }
+        for victim in victims {
             if let Some(task) = lock_unpoisoned(&self.queues[victim]).pop_back() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(task);
@@ -505,6 +643,81 @@ mod tests {
             assert_eq!(p.trace_id, submit_ctx.trace_id);
             assert_eq!(p.parent_id, submit_ctx.span_id);
         }
+    }
+
+    #[test]
+    fn permuted_schedule_is_bitwise_invisible() {
+        let items: Vec<f64> = (0..48).map(|i| 0.05 + i as f64 * 0.21).collect();
+        let f = |_: usize, x: f64| (x.cos() * x.exp_m1()).abs().sqrt();
+        let baseline = Pool::new(1).map_indexed(items.clone(), f);
+        for seed in [0u64, 1, 0xdead_beef, u64::MAX] {
+            for threads in [2, 4, 7] {
+                let pool = Pool::new(threads).with_permutation(Some(seed));
+                let permuted = pool.map_indexed(items.clone(), f);
+                for (a, b) in baseline.iter().zip(&permuted) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_scope_runs_every_task() {
+        for seed in [7u64, 99] {
+            let counter = AtomicUsize::new(0);
+            Pool::new(4).with_permutation(Some(seed)).scope(|scope| {
+                for _ in 0..200 {
+                    scope.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 200);
+        }
+    }
+
+    #[test]
+    fn completion_order_defect_reorders_results() {
+        // The defect returns results in completion order. Worker 0 drains its
+        // own deque (even indices under round-robin) before stealing odd ones
+        // back-to-front, so with enough tasks the completion order cannot be
+        // 0..n even on a single hardware thread.
+        let pool = Pool::new(2).with_completion_order_defect(true);
+        let mut scrambled = false;
+        for _ in 0..20 {
+            let out = pool.map_indexed((0..64).collect(), |_, x: usize| x);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                (0..64).collect::<Vec<_>>(),
+                "no task lost or duplicated"
+            );
+            if out != (0..64).collect::<Vec<_>>() {
+                scrambled = true;
+                break;
+            }
+        }
+        assert!(scrambled, "defect must scramble order");
+        // The inline path is immune: a 1-thread pool ignores the defect.
+        let serial = Pool::new(1)
+            .with_completion_order_defect(true)
+            .map_indexed((0..64).collect(), |_, x: usize| x);
+        assert_eq!(serial, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn configured_permutation_parses_and_hashes() {
+        std::env::set_var(PERMUTE_ENV, "42");
+        assert_eq!(configured_permutation(), Some(42));
+        std::env::set_var(PERMUTE_ENV, "adversarial");
+        let hashed = configured_permutation();
+        assert!(hashed.is_some());
+        assert_ne!(hashed, Some(42));
+        std::env::set_var(PERMUTE_ENV, "  ");
+        assert_eq!(configured_permutation(), None);
+        std::env::remove_var(PERMUTE_ENV);
+        assert_eq!(configured_permutation(), None);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::model::PlaceId;
 /// let marking = m.initial_marking();
 /// assert_eq!(marking.tokens(p), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Marking {
     tokens: Vec<u32>,
 }

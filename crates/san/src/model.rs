@@ -20,7 +20,7 @@ impl PlaceId {
 }
 
 /// Identifier of an activity within a [`SanModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ActivityId(usize);
 
 /// Identifier of an input gate within a [`SanModel`].

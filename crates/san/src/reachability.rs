@@ -8,7 +8,7 @@
 //! [`markov::Ctmc`] over tangible markings plus the bookkeeping needed to
 //! map reward predicates onto states.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use markov::Ctmc;
 
@@ -311,7 +311,10 @@ fn resolve_vanishing(
             activity: String::from("<unknown>"),
         });
     }
-    let mut merged: HashMap<Marking, f64> = HashMap::new();
+    // BTreeMap, not HashMap: the successor list this returns drives the BFS
+    // discovery order, and with it the state numbering of the tangible
+    // chain. Hash order would renumber states from process to process.
+    let mut merged: BTreeMap<Marking, f64> = BTreeMap::new();
     for (act, sel_p) in instantaneous {
         for (case, case_p) in semantics::case_distribution(model, act, &marking)? {
             let fired = semantics::fire(model, act, case, &marking)?;

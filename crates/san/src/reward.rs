@@ -1,6 +1,6 @@
 //! UltraSAN-style predicate-rate reward structures on SAN state spaces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use markov::reward::RewardStructure;
 
@@ -37,7 +37,10 @@ type RateValueFn = Box<dyn Fn(&Marking) -> f64 + Send + Sync>;
 #[derive(Default)]
 pub struct RewardSpec {
     pairs: Vec<(PredicateFn, RateValueFn)>,
-    impulses: HashMap<ActivityId, f64>,
+    // Keyed map iterated when translating onto the tangible chain — a
+    // BTreeMap keeps that translation order (and the float accumulation it
+    // drives) identical across processes.
+    impulses: BTreeMap<ActivityId, f64>,
 }
 
 impl RewardSpec {
@@ -45,7 +48,7 @@ impl RewardSpec {
     pub fn new() -> Self {
         RewardSpec {
             pairs: Vec::new(),
-            impulses: HashMap::new(),
+            impulses: BTreeMap::new(),
         }
     }
 
@@ -110,7 +113,7 @@ impl RewardSpec {
             .collect()
     }
 
-    /// The activities carrying impulse rewards, in unspecified order.
+    /// The activities carrying impulse rewards, in ascending id order.
     pub fn impulse_activities(&self) -> Vec<ActivityId> {
         self.impulses.keys().copied().collect()
     }
@@ -140,8 +143,9 @@ impl RewardSpec {
         if self.impulses.is_empty() {
             return RewardStructure::from_rates(rates);
         }
-        // Aggregate impulse mass per transition pair.
-        let mut pair_mass: HashMap<(usize, usize), f64> = HashMap::new();
+        // Aggregate impulse mass per transition pair (ordered, so the
+        // `with_impulse` insertion sequence below is deterministic).
+        let mut pair_mass: BTreeMap<(usize, usize), f64> = BTreeMap::new();
         for flow in space.flows() {
             let Some(&reward) = self.impulses.get(&flow.activity) else {
                 continue;

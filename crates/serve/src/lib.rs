@@ -41,7 +41,7 @@ pub mod slo;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -86,7 +86,13 @@ struct ServerState {
     start: Instant,
     ready: AtomicBool,
     shutdown: AtomicBool,
-    lint_findings: PathBuf,
+    /// Rendered `gsu_lint_findings_total` exposition block, loaded once at
+    /// startup from [`LINT_FINDINGS_PATH`]. Handlers must not touch the
+    /// filesystem (blocking I/O off the accept path stalls every request
+    /// queued behind the scrape), so the findings snapshot is taken before
+    /// the listener starts serving; re-run `gsu-lint --emit-telemetry` and
+    /// restart to refresh it.
+    lint_findings: String,
     /// Capacity of the `/requests` ring (default, or `GSU_REQUEST_LOG_CAP`).
     request_log_cap: usize,
     /// Committed serving SLOs (`results/SLO.json`), when present.
@@ -190,7 +196,7 @@ impl Server {
             start: Instant::now(),
             ready: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
-            lint_findings: PathBuf::from(LINT_FINDINGS_PATH),
+            lint_findings: lint_exposition(Path::new(LINT_FINDINGS_PATH)),
             request_log_cap,
             slo: slo_doc,
             windows,
@@ -455,7 +461,7 @@ fn route(state: &ServerState, request: &Request, queue_us: u64) -> Response {
             telemetry::gauge("serve.uptime_s", state.start.elapsed().as_secs_f64());
             let mut body = state.collector.snapshot().prometheus_text();
             body.push_str(&build_info_exposition());
-            body.push_str(&lint_exposition(&state.lint_findings));
+            body.push_str(&state.lint_findings);
             body.push_str(&window_exposition(state));
             Response {
                 status: 200,

@@ -194,7 +194,6 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> RunOutcome {
-        let started = telemetry::enabled().then(std::time::Instant::now);
         let mut events: u64 = 0;
         let params = self.cfg.params;
         let theta = params.theta;
@@ -281,13 +280,13 @@ impl<'a> Engine<'a> {
             }
         }
 
-        if let Some(start) = started {
-            let secs = start.elapsed().as_secs_f64();
+        // Wall-clock reads stay out of this crate (the trajectory must be a
+        // pure function of the seed); throughput is derivable from the
+        // enclosing span's duration and these counters.
+        if telemetry::enabled() {
             telemetry::counter("sim.engine.runs", 1);
             telemetry::counter("sim.engine.events", events);
-            if secs > 0.0 {
-                telemetry::observe("sim.engine.events_per_sec", events as f64 / secs);
-            }
+            telemetry::observe("sim.engine.events_per_run", events as f64);
         }
         self.finish()
     }

@@ -113,6 +113,7 @@ impl BlockedKernel {
                 *yj = acc;
             }
         }
+        crate::checked::check_slice("blocked.apply", y);
     }
 
     /// Computes `y = Aᵀ·x` and `acc ← acc + weight·x` in one pass.
@@ -162,6 +163,10 @@ impl BlockedKernel {
                 }
                 *yj = a;
             }
+        }
+        crate::checked::check_slice("blocked.apply_fused", y);
+        if accumulate {
+            crate::checked::check_slice("blocked.apply_fused.acc", acc);
         }
     }
 }
@@ -215,6 +220,7 @@ pub fn spmv_transpose_adaptive(
             y[c] += v * xr;
         }
     }
+    crate::checked::check_slice("blocked.spmv_transpose_adaptive", y);
     AdaptiveStep {
         dropped_mass,
         active_sources,

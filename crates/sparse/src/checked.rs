@@ -1,0 +1,148 @@
+//! Checked-float mode: debug-build tripwires on kernel outputs.
+//!
+//! The numeric pipeline is supposed to keep every intermediate finite and
+//! normal — NaN, infinity, or a denormal leaking out of an SpMV is always a
+//! modelling or conditioning bug upstream, never a legitimate value. This
+//! module gives `gsu-lint sanitize` (and any debug build) a way to catch the
+//! leak *at the kernel that produced it*, with the kernel named in the trip
+//! record, instead of ten solver layers later when a probability goes NaN.
+//!
+//! The mode is off by default and compiles to nothing in release builds:
+//! [`check_slice`] is an empty `#[inline]` function unless
+//! `debug_assertions` are on **and** [`enable`] has been called. Kernels call
+//! it unconditionally on their output slices; the cost in an enabled debug
+//! build is one linear scan per kernel invocation.
+//!
+//! Trips are recorded, not panicked: the sanitizer wants to finish the run,
+//! diff the outputs, and then report every tripwire alongside any bitwise
+//! mismatch. The trip log is bounded so a kernel in a hot loop cannot grow
+//! it without limit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Maximum number of trip records kept; later trips only bump the counter.
+const MAX_TRIPS: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRIPS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Turns checked-float mode on or off. Disabling does not clear recorded
+/// trips; use [`take_trips`] to drain them.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when trips are being recorded (debug build and [`enable`]d).
+pub fn active() -> bool {
+    cfg!(debug_assertions) && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drains and returns every trip recorded so far, in trip order.
+pub fn take_trips() -> Vec<String> {
+    std::mem::take(&mut *TRIPS.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// Scans `values` for NaN / infinite / denormal entries and records one trip
+/// per offending class, naming `kernel` and the first offending index.
+///
+/// No-op unless [`active`]. Kernels pass their *output* slice: the goal is
+/// to name the operation that manufactured the bad value, so checking inputs
+/// would double-report every propagation hop.
+#[inline]
+pub fn check_slice(kernel: &'static str, values: &[f64]) {
+    if !active() {
+        return;
+    }
+    scan(kernel, values);
+}
+
+#[cold]
+fn record(message: String) {
+    let mut trips = TRIPS.lock().unwrap_or_else(PoisonError::into_inner);
+    if trips.len() < MAX_TRIPS {
+        trips.push(message);
+    }
+}
+
+fn scan(kernel: &'static str, values: &[f64]) {
+    let mut nan = None;
+    let mut inf = None;
+    let mut denormal = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            nan.get_or_insert(i);
+        } else if v.is_infinite() {
+            inf.get_or_insert(i);
+        } else if v != 0.0 && v.abs() < f64::MIN_POSITIVE {
+            denormal.get_or_insert(i);
+        }
+        if nan.is_some() && inf.is_some() && denormal.is_some() {
+            break;
+        }
+    }
+    if let Some(i) = nan {
+        record(format!("checked-float: {kernel}: NaN at index {i}"));
+    }
+    if let Some(i) = inf {
+        record(format!("checked-float: {kernel}: Inf at index {i}"));
+    }
+    if let Some(i) = denormal {
+        record(format!("checked-float: {kernel}: denormal at index {i}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trip-log state is process-global; tests that touch it serialise here.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        enable(false);
+        take_trips();
+        check_slice("test.kernel", &[f64::NAN, 1.0]);
+        assert!(take_trips().is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn enabled_mode_names_kernel_and_class() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        enable(true);
+        take_trips();
+        check_slice("csr.mul_vec", &[1.0, f64::NAN, f64::INFINITY, 1e-320]);
+        enable(false);
+        let trips = take_trips();
+        assert_eq!(trips.len(), 3);
+        assert!(trips[0].contains("csr.mul_vec") && trips[0].contains("NaN at index 1"));
+        assert!(trips[1].contains("Inf at index 2"));
+        assert!(trips[2].contains("denormal at index 3"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn trip_log_is_bounded() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        enable(true);
+        take_trips();
+        for _ in 0..(MAX_TRIPS + 50) {
+            check_slice("bounded.kernel", &[f64::NAN]);
+        }
+        enable(false);
+        assert_eq!(take_trips().len(), MAX_TRIPS);
+    }
+
+    #[test]
+    fn clean_slice_never_trips() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        enable(true);
+        take_trips();
+        check_slice("clean.kernel", &[0.0, -1.5, f64::MIN_POSITIVE, 1e300]);
+        enable(false);
+        assert!(take_trips().is_empty());
+    }
+}

@@ -179,6 +179,7 @@ impl CsrMatrix {
             }
             *yr = acc;
         }
+        crate::checked::check_slice("csr.mul_vec", y);
     }
 
     /// Computes `y = Aᵀ·x` (equivalently the row vector `xᵀ·A`).
@@ -214,6 +215,7 @@ impl CsrMatrix {
                 y[self.col_idx[k]] += self.values[k] * xr;
             }
         }
+        crate::checked::check_slice("csr.mul_vec_transpose", y);
     }
 
     /// Returns the transpose as a new CSR matrix.

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod blocked;
+pub mod checked;
 mod coo;
 mod csr;
 mod dense;

@@ -37,6 +37,12 @@ target/release/gsu-lint self-test
 echo "==> gsu-lint --all"
 target/release/gsu-lint --all --emit-telemetry
 
+# Runtime sanitizer: replay fig9 + the smallest catalog scenarios under
+# permuted worker schedules at 1/2/4 threads and diff bitwise. --quick
+# keeps the stage comfortably inside a 10 s CI budget (measured ~0.1 s).
+echo "==> gsu-lint sanitize --quick"
+target/release/gsu-lint sanitize --quick
+
 echo "==> gsu-lint jsonl round-trip"
 LINT_JSONL="$(mktemp)"
 target/release/gsu-lint --all --format jsonl > "$LINT_JSONL"
@@ -58,24 +64,26 @@ for _ in $(seq 1 50); do
 done
 [ -n "$SERVE_URL" ] || { echo "gsu-serve never reported its address"; exit 1; }
 if command -v curl > /dev/null; then
-    curl -fsS "$SERVE_URL/healthz" | grep -qx 'ok'
-    curl -fsS "$SERVE_URL/metrics" | grep -q '^# TYPE gsu_'
-    curl -fsS "$SERVE_URL/metrics" | grep -q '^gsu_lint_findings_total'
-    curl -fsS "$SERVE_URL/metrics" | grep -q '^gsu_build_info{version='
-    curl -fsS "$SERVE_URL/version" | grep -q '"name":"gsu-serve"'
+    # The greps drain their input (no -q): under pipefail, grep -q exiting
+    # at the first match can hand curl an EPIPE and fail a passing probe.
+    curl -fsS "$SERVE_URL/healthz" | grep -x 'ok' >/dev/null
+    curl -fsS "$SERVE_URL/metrics" | grep '^# TYPE gsu_' >/dev/null
+    curl -fsS "$SERVE_URL/metrics" | grep '^gsu_lint_findings_total' >/dev/null
+    curl -fsS "$SERVE_URL/metrics" | grep '^gsu_build_info{version=' >/dev/null
+    curl -fsS "$SERVE_URL/version" | grep '"name":"gsu-serve"' >/dev/null
     # Request-scoped tracing round trip: the trace id /eval returns must
     # resolve to its span tree on /trace?id= and to a wide-event line
     # (with solver diagnostics) on /requests.
     EVAL_BODY="$(curl -fsS "$SERVE_URL/eval?phi=0.5")"
-    echo "$EVAL_BODY" | grep -q '"y":'
+    echo "$EVAL_BODY" | grep '"y":' >/dev/null
     TRACE_ID="$(echo "$EVAL_BODY" | sed -n 's#.*"trace_id":"\([0-9a-f]*\)".*#\1#p')"
     [ -n "$TRACE_ID" ] || { echo "/eval returned no trace id: $EVAL_BODY"; exit 1; }
-    curl -fsS "$SERVE_URL/trace?id=$TRACE_ID" | grep -q '"serve.eval"'
-    curl -fsS "$SERVE_URL/requests" | grep "$TRACE_ID" | grep -q '"solves":\['
+    curl -fsS "$SERVE_URL/trace?id=$TRACE_ID" | grep '"serve.eval"' >/dev/null
+    curl -fsS "$SERVE_URL/requests" | grep "$TRACE_ID" | grep '"solves":\[' >/dev/null
     # Scenario route: the daemon runs from the workspace root, so the
     # committed catalog must be loaded and evaluable by name.
     curl -fsS "$SERVE_URL/eval?scenario=paper-baseline&phi=5000" \
-        | grep -q '"scenario":"paper-baseline"'
+        | grep '"scenario":"paper-baseline"' >/dev/null
     echo "curl probes ok ($SERVE_URL, trace $TRACE_ID)"
 fi
 kill "$SERVE_PID" 2>/dev/null || true
@@ -111,8 +119,8 @@ target/release/gsu-bench loadgen --addr "$SERVE_ADDR" --mode closed --duration 2
 target/release/gsu-bench loadgen --addr "$SERVE_ADDR" --mode open --duration 2 \
     --no-keepalive --report "$LOADGEN_DIR/loadgen-nokeepalive.json"
 if command -v curl > /dev/null; then
-    curl -fsS "http://$SERVE_ADDR/stats" | grep -q '"schema":"gsu-stats-v1"'
-    curl -fsS "http://$SERVE_ADDR/stats" | grep -q '"slos":\[{"endpoint":"/eval"'
+    curl -fsS "http://$SERVE_ADDR/stats" | grep '"schema":"gsu-stats-v1"' >/dev/null
+    curl -fsS "http://$SERVE_ADDR/stats" | grep '"slos":\[{"endpoint":"/eval"' >/dev/null
 fi
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
